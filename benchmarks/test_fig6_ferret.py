@@ -1,0 +1,64 @@
+"""Figures 5 & 6: ferret's pipeline and its causal profile.
+
+The paper's profile shows the indexing (line 320) and ranking (line 358)
+queries as the top opportunities, image segmentation (line 255) third, and
+feature extraction unimportant — which justified reallocating threads from
+extraction to the other stages (Figure 5's colors).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.ferret import (
+    LINE_EXTRACT,
+    LINE_INDEX,
+    LINE_RANK,
+    LINE_SEG,
+    build_ferret,
+)
+from repro.core.config import CozConfig
+from repro.core.report import render_profile
+from repro.harness.runner import profile_app
+from repro.sim.clock import MS
+
+
+def test_fig6_ferret_causal_profile(benchmark):
+    spec = build_ferret(n_queries=1500)
+    cfg = CozConfig(
+        scope=spec.scope,
+        experiment_duration_ns=MS(25),
+        speedup_values=(0, 15, 30, 45),
+        zero_speedup_prob=0.4,
+    )
+
+    def regen():
+        return profile_app(spec, runs=14, coz_config=cfg)
+
+    out = run_once(benchmark, regen)
+    print()
+    print(render_profile(out.profile))
+
+    profile = out.profile
+    idx, rank = profile.get(LINE_INDEX), profile.get(LINE_RANK)
+    seg, ext = profile.get(LINE_SEG), profile.get(LINE_EXTRACT)
+    assert idx is not None and rank is not None and seg is not None
+
+    impact = {
+        "segment (255)": seg.slope,
+        "index (320)": idx.slope,
+        "rank (358)": rank.slope,
+        "extract (280)": ext.slope if ext is not None else 0.0,
+    }
+    print("Figure 5 stage impacts (slope):")
+    for stage, slope in impact.items():
+        color = "red" if slope > 0.15 else ("orange" if slope > 0.05 else "green")
+        print(f"  {stage:<14} {slope:+.3f}  [{color}]")
+
+    # Figure 6's ordering: indexing & ranking on top, segmentation close,
+    # extraction negligible (it has ~1/20th of the other stages' work)
+    ext_slope = impact["extract (280)"]
+    assert idx.slope > ext_slope
+    assert rank.slope > ext_slope
+    assert seg.slope > ext_slope
+    assert max(idx.slope, rank.slope, seg.slope) > 0.1
+    assert ext_slope < 0.1

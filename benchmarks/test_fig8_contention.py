@@ -1,0 +1,88 @@
+"""Figure 8: contention signatures — downward-sloping causal profiles.
+
+The paper shows fluidanimate's custom spin-barrier lines with *negative*
+causal profiles: virtually speeding them up slows the program, the telltale
+of contention.  In the simulator the same signature appears on memcached's
+striped item locks (§4.2.6), where the refcount update inside the contended
+stripe is inelastic; the elastic spin-wait line of the barrier itself
+measures near-flat-positive here (see EXPERIMENTS.md for the deviation
+discussion), far below its enormous CPU share, so Coz still steers the
+developer away from "optimizing" the spin loop and toward removing it.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.fluidanimate import LINE_SPIN, build_fluidanimate
+from repro.apps.memcached import LINE_ITEM_REMOVE, LINE_REFCOUNT, build_memcached
+from repro.baselines.perf import PerfObserver
+from repro.core.config import CozConfig
+from repro.harness.runner import profile_app
+from repro.sim.clock import MS
+
+
+def test_fig8_memcached_contention_slopes(benchmark):
+    spec = build_memcached(False, n_requests=50_000)
+
+    def regen():
+        curves = {}
+        for name, hot in (("item_remove", LINE_ITEM_REMOVE), ("refcount", LINE_REFCOUNT)):
+            cfg = CozConfig(
+                scope=spec.scope,
+                experiment_duration_ns=MS(5),
+                fixed_line=hot,
+                speedup_schedule=[0, 15, 0, 35, 0, 60],
+            )
+            out = profile_app(spec, runs=3, coz_config=cfg)
+            curves[name] = out.profile.get(hot)
+        return curves
+
+    curves = run_once(benchmark, regen)
+    print()
+    print("memcached striped-lock contention (downward slopes):")
+    for name, lp in curves.items():
+        pts = "  ".join(
+            f"{p.speedup_pct}:{p.program_speedup_pct:+.1f}%"
+            for p in sorted(lp.points, key=lambda q: q.speedup_pct)
+        )
+        print(f"  {name:<12} slope={lp.slope:+.2f}  {pts}")
+
+    # the Figure 8 signature: steep downward slopes, flagged as contention
+    for name, lp in curves.items():
+        assert lp.slope < -0.05, name
+        assert lp.is_contended(), name
+        assert lp.point_at(60).program_speedup < 0, name
+
+
+def test_fig8_fluidanimate_spin_line_not_worth_optimizing(benchmark):
+    """The spin line burns a huge share of CPU (perf would rank it #1), yet
+    its causal value is a small fraction of that share — Coz's actionable
+    signal that optimizing the spin loop is futile."""
+    spec = build_fluidanimate(False, n_phases=300)
+
+    def regen():
+        perf = PerfObserver()
+        build_fluidanimate(False, n_phases=120).build(0).run(observers=[perf])
+        cfg = CozConfig(
+            scope=spec.scope,
+            experiment_duration_ns=MS(40),
+            fixed_line=LINE_SPIN,
+            speedup_schedule=[0, 20, 0, 40, 0, 60],
+        )
+        out = profile_app(spec, runs=3, coz_config=cfg)
+        return perf.profile(), out.profile.get(LINE_SPIN)
+
+    perf_profile, lp = run_once(benchmark, regen)
+    spin_share = perf_profile.pct_line(LINE_SPIN)
+    print()
+    print(f"spin line perf share: {spin_share:.1f}% of samples")
+    pts = "  ".join(
+        f"{p.speedup_pct}:{p.program_speedup_pct:+.1f}%"
+        for p in sorted(lp.points, key=lambda q: q.speedup_pct)
+    )
+    print(f"spin line causal profile: {pts}  (slope {lp.slope:+.2f})")
+
+    # perf says the spin loop is the hottest code in the program...
+    assert spin_share > 20.0
+    # ...but its causal profile shows a fraction of that as real upside
+    assert lp.max_program_speedup * 100 < spin_share * 0.8

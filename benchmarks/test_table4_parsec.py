@@ -1,0 +1,45 @@
+"""Table 4: progress points and top optimization opportunities for the
+remaining PARSEC benchmarks.
+
+For each app we register the paper's progress point (as a breakpoint
+progress point on the listed line) and check that Coz ranks the paper's
+"Top Optimization" line first.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.parsec_misc import TABLE4, build_parsec_app
+from repro.core.analysis import top_line
+from repro.core.config import CozConfig
+from repro.harness.runner import profile_app
+from repro.sim.clock import MS
+
+
+def test_table4_top_opportunities(benchmark):
+    def regen():
+        results = []
+        for entry in TABLE4:
+            spec = build_parsec_app(entry.name, n_items=800)
+            cfg = CozConfig(
+                scope=spec.scope,
+                experiment_duration_ns=MS(25),
+                speedup_values=(0, 20, 40, 60),
+                zero_speedup_prob=0.4,
+            )
+            out = profile_app(spec, runs=6, coz_config=cfg)
+            results.append((entry, out.profile))
+        return results
+
+    results = run_once(benchmark, regen)
+    print()
+    print(f"{'Benchmark':<12} {'Progress Point':<26} {'Top (Coz)':<26} {'Top (paper)':<24}")
+    hits = 0
+    for entry, profile in results:
+        found = top_line(profile)
+        match = "=" if found == entry.top_line else "!"
+        hits += found == entry.top_line
+        print(f"{entry.name:<12} {str(entry.progress_point):<26} "
+              f"{str(found):<26} {str(entry.top_line):<22}{match}")
+
+    assert hits == len(TABLE4), "every Table 4 top line must rank first"

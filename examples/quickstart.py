@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Quickstart: causal-profile a program you write yourself.
+
+This is the paper's Figure 1/2 story end to end:
+
+1. write a small two-thread program against the simulator API;
+2. profile it with a conventional (gprof-style) profiler — it says the two
+   threads matter equally;
+3. causal-profile it — it says neither line is worth much, and quantifies
+   exactly how much (line a caps at ~4.5%, line b at ~0%).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    MS,
+    CausalProfiler,
+    CozConfig,
+    Program,
+    ProgressPoint,
+    Scope,
+    SimConfig,
+    build_causal_profile,
+    line,
+    render_line_graph,
+    render_profile,
+)
+from repro.baselines.gprof import GprofObserver
+from repro.core.profile_data import ProfileData
+from repro.sim import BarrierWait, Join, Progress, Spawn, Work, call
+from repro.sim.clock import US
+from repro.sim.sync import Barrier
+
+# --- 1. the program ---------------------------------------------------------
+# Two threads run busy loops of ~6.7 and ~6.4 ms per round (Figure 1's
+# example.cpp, with rounds so there is a throughput progress point).
+
+LINE_A = line("example.cpp:2")
+LINE_B = line("example.cpp:5")
+ROUNDS = 300
+
+
+def make_program(seed: int = 0) -> Program:
+    def main(t):
+        barrier = Barrier(2)
+
+        def loop_a():
+            yield Work(LINE_A, MS(6.7))              # void a() { for(...) {} }
+
+        def loop_b():
+            yield Work(LINE_B, MS(6.4))              # void b() { for(...) {} }
+
+        def fn_a(t2):
+            for _ in range(ROUNDS):
+                yield from call("a", loop_a())
+                if (yield BarrierWait(barrier)):
+                    yield Progress("round")
+
+        def fn_b(t2):
+            for _ in range(ROUNDS):
+                yield from call("b", loop_b())
+                if (yield BarrierWait(barrier)):
+                    yield Progress("round")
+
+        a = yield Spawn(fn_a, "a_thread")
+        b = yield Spawn(fn_b, "b_thread")
+        yield Join(a)
+        yield Join(b)
+
+    config = SimConfig(seed=seed, sample_period_ns=US(250))
+    return Program(main, name="example", config=config)
+
+
+def main() -> None:
+    # --- 2. what a conventional profiler says --------------------------------
+    gprof = GprofObserver()
+    make_program().run(observers=[gprof])
+    print("=" * 64)
+    print("gprof's answer (Figure 2a): optimize either, they're ~50/50")
+    print("=" * 64)
+    print(gprof.profile().render())
+
+    # --- 3. what the causal profiler says ------------------------------------
+    print("=" * 64)
+    print("Coz's answer (Figure 2b): neither is worth much")
+    print("=" * 64)
+    data = ProfileData()
+    for seed in range(20):
+        profiler = CausalProfiler(
+            CozConfig(
+                scope=Scope.only("example.cpp"),
+                experiment_duration_ns=MS(150),
+                speedup_values=(0, 25, 50, 75, 100),
+                seed=seed,
+            ),
+            progress_points=[ProgressPoint("round")],
+        )
+        make_program(seed).run(hook=profiler)
+        data.merge(profiler.data)
+
+    profile = build_causal_profile(data, "round", min_speedup_amounts=2)
+    print(render_profile(profile))
+    for lp in profile.ranked():
+        print(render_line_graph(lp))
+    print(
+        "Reading the graphs: speeding up example.cpp:2 (the 6.7ms loop) by\n"
+        "100% buys only ~4.5% — the other thread becomes the critical path.\n"
+        "Speeding up example.cpp:5 buys ~nothing. gprof's 51%/49% was a trap."
+    )
+
+
+if __name__ == "__main__":
+    main()

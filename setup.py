@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` on a pyproject-only package requires PEP 660 editable
+wheels; offline environments without `wheel` can fall back to
+`python setup.py develop` via this shim.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Simulated applications: the paper's evaluation workloads.
+
+Every app module exposes a builder returning an :class:`AppSpec`; the spec
+carries a fresh-:class:`~repro.sim.program.Program` factory plus the
+progress points and scope used in the paper's case study.  Builders accept
+an ``optimized`` flag (and app-specific knobs) to produce the paper's
+post-optimization variants, and a ``line_speedups`` mapping to scale the
+cost of specific lines (the §4.3 accuracy methodology).
+"""
+
+from repro.apps.spec import AppSpec
+
+__all__ = ["AppSpec"]

@@ -1,0 +1,50 @@
+"""Application specification shared by all simulated workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.progress import LatencySpec, ProgressPoint
+from repro.sim.engine import SimConfig
+from repro.sim.program import Program
+from repro.sim.source import Scope, SourceLine
+
+
+@dataclass
+class AppSpec:
+    """Everything a harness needs to profile and evaluate one application."""
+
+    #: application name (matches the paper's tables)
+    name: str
+    #: build a fresh Program; ``seed`` drives any workload randomness
+    build: Callable[[int], Program]
+    #: progress points to register with the profiler
+    progress_points: List[ProgressPoint]
+    #: the progress point used for throughput numbers
+    primary_progress: str
+    #: profiling scope used in the paper's case study
+    scope: Scope
+    #: named lines of interest ("spin", "hash-loop", ...) for tests/benches
+    lines: Dict[str, SourceLine] = field(default_factory=dict)
+    #: latency begin/end pairs, if the app defines any
+    latency_specs: List[LatencySpec] = field(default_factory=list)
+    #: machine configuration this app is meant to run on
+    sim_config: Optional[SimConfig] = None
+
+    def line(self, key: str) -> SourceLine:
+        return self.lines[key]
+
+
+def scaled(ns: int, factor: float) -> int:
+    """Scale a nominal duration by a line-speedup factor (>=0)."""
+    if factor == 1.0:
+        return ns
+    return max(0, int(round(ns * factor)))
+
+
+def line_factor(line_speedups: Optional[Dict[SourceLine, float]], line: SourceLine) -> float:
+    """Cost multiplier for ``line`` (1.0 = unchanged, 0.5 = 2x faster)."""
+    if not line_speedups:
+        return 1.0
+    return line_speedups.get(line, 1.0)

@@ -1,0 +1,16 @@
+"""Conventional profilers, the paper's comparison points.
+
+:mod:`repro.baselines.gprof` reproduces gprof's flat profile and call graph
+(Figure 2a), including its per-call instrumentation overhead.
+:mod:`repro.baselines.perf` reproduces a ``perf``-style sampling profiler's
+flat profile by line and function (Figure 7b).
+
+Both are passive :class:`~repro.sim.hooks.Observer` implementations: they
+watch the same execution the causal profiler would, and demonstrate the
+paper's core claim — "where the time goes" is not "what to optimize".
+"""
+
+from repro.baselines.gprof import GprofObserver, GprofProfile
+from repro.baselines.perf import PerfObserver, PerfProfile
+
+__all__ = ["GprofObserver", "GprofProfile", "PerfObserver", "PerfProfile"]

@@ -1,0 +1,154 @@
+"""Command-line interface: ``coz-sim`` (or ``python -m repro.cli``).
+
+Subcommands:
+
+* ``profile <app>`` — run a bundled app under the causal profiler and print
+  the ranked profile (the simulator's ``coz run --- <program>``);
+* ``compare <app>`` — Table 3 style before/after optimization comparison;
+* ``overhead <app>`` — Figure 9 style overhead breakdown;
+* ``list`` — list the bundled applications.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.apps.spec import AppSpec
+from repro.core.config import CozConfig
+from repro.core.report import render_line_graph, render_profile, to_coz_format
+from repro.harness.comparison import compare_builds
+from repro.harness.overhead import measure_overhead
+from repro.harness.runner import profile_app
+from repro.sim.clock import MS
+
+
+def _registry() -> Dict[str, Tuple[Callable[..., AppSpec], bool]]:
+    """name -> (builder, has_optimized_variant)."""
+    from repro.apps.blackscholes import build_blackscholes
+    from repro.apps.dedup import build_dedup
+    from repro.apps.example import build_example
+    from repro.apps.ferret import OPTIMIZED_THREADS, build_ferret
+    from repro.apps.fluidanimate import build_fluidanimate
+    from repro.apps.memcached import build_memcached
+    from repro.apps.parsec_misc import TABLE4, build_parsec_app
+    from repro.apps.sqlite import build_sqlite
+    from repro.apps.streamcluster import build_streamcluster
+    from repro.apps.swaptions import build_swaptions
+
+    registry: Dict[str, Tuple[Callable[..., AppSpec], bool]] = {
+        "example": (build_example, False),
+        "dedup": (lambda optimized=False: build_dedup("xor" if optimized else "original"), True),
+        "ferret": (
+            lambda optimized=False: build_ferret(
+                threads=OPTIMIZED_THREADS if optimized else (8, 8, 8, 8)
+            ),
+            True,
+        ),
+        "sqlite": (build_sqlite, True),
+        "memcached": (build_memcached, True),
+        "fluidanimate": (build_fluidanimate, True),
+        "streamcluster": (build_streamcluster, True),
+        "blackscholes": (build_blackscholes, True),
+        "swaptions": (build_swaptions, True),
+    }
+    for entry in TABLE4:
+        registry[entry.name] = (
+            lambda name=entry.name: build_parsec_app(name),
+            False,
+        )
+    return registry
+
+
+def _build(name: str, optimized: bool = False) -> AppSpec:
+    registry = _registry()
+    if name not in registry:
+        raise SystemExit(
+            f"unknown app {name!r}; available: {', '.join(sorted(registry))}"
+        )
+    builder, has_opt = registry[name]
+    if optimized and not has_opt:
+        raise SystemExit(f"{name} has no optimized variant")
+    return builder(optimized=True) if optimized else builder()
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    registry = _registry()
+    for name in sorted(registry):
+        _, has_opt = registry[name]
+        print(f"{name:<15} {'(+ optimized variant)' if has_opt else ''}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    spec = _build(args.app, optimized=args.optimized)
+    cfg = CozConfig(
+        scope=spec.scope,
+        experiment_duration_ns=MS(args.experiment_ms),
+        speedup_values=tuple(range(0, 101, args.speedup_step)),
+    )
+    outcome = profile_app(spec, runs=args.runs, coz_config=cfg)
+    print(f"{outcome.experiment_count} experiments over {args.runs} runs")
+    print(render_profile(outcome.profile, top=args.top))
+    if args.graphs:
+        for lp in outcome.profile.ranked()[: args.graphs]:
+            print(render_line_graph(lp))
+    if args.coz_output:
+        with open(args.coz_output, "w") as f:
+            f.write(to_coz_format(outcome.data))
+        print(f"raw profile written to {args.coz_output}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    base = _build(args.app, optimized=False)
+    opt = _build(args.app, optimized=True)
+    cmp_result = compare_builds(args.app, base.build, opt.build, runs=args.runs)
+    print(cmp_result.row())
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    spec = _build(args.app)
+    breakdown = measure_overhead(spec, runs=args.runs)
+    print(breakdown.row())
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="coz-sim",
+        description="Causal profiling on a simulated machine (Coz reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list bundled applications").set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("profile", help="causal-profile an app")
+    p.add_argument("app")
+    p.add_argument("--runs", type=int, default=8)
+    p.add_argument("--experiment-ms", type=float, default=50.0)
+    p.add_argument("--speedup-step", type=int, default=20)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--graphs", type=int, default=0, help="render N ASCII graphs")
+    p.add_argument("--optimized", action="store_true")
+    p.add_argument("--coz-output", help="write raw experiments in Coz's file format")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("compare", help="before/after optimization (Table 3 row)")
+    p.add_argument("app")
+    p.add_argument("--runs", type=int, default=10)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("overhead", help="overhead breakdown (Figure 9 bar)")
+    p.add_argument("app")
+    p.add_argument("--runs", type=int, default=3)
+    p.set_defaults(fn=cmd_overhead)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""The causal profiler: the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.profiler.CausalProfiler` — the profiler hook; install
+  it on a :class:`~repro.sim.program.Program` run;
+* :class:`~repro.core.config.CozConfig` — all tunables (sampling, experiment
+  pacing, speedup grid, overhead model);
+* :class:`~repro.core.progress.ProgressPoint` / :class:`~repro.core.progress.
+  LatencySpec` — throughput and latency progress points;
+* :func:`~repro.core.profile_data.build_causal_profile` — turn raw
+  experiments into ranked line graphs;
+* :mod:`~repro.core.analysis` / :mod:`~repro.core.report` — interpretation
+  and rendering.
+"""
+
+from repro.core.analysis import Opportunity, predict_program_speedup, summarize, top_line
+from repro.core.config import DEFAULT_SPEEDUPS, CozConfig
+from repro.core.experiment import ExperimentResult
+from repro.core.profile_data import (
+    CausalProfile,
+    LatencyPoint,
+    LineProfile,
+    ProfileData,
+    ProfilePoint,
+    RunInfo,
+    build_causal_profile,
+    build_latency_profile,
+    build_line_profile,
+)
+from repro.core.profiler import CausalProfiler
+from repro.core.progress import LatencySpec, ProgressPoint, ProgressTracker
+from repro.core.report import render_line_graph, render_profile, to_coz_format, to_csv
+from repro.core.speedup import DelayEngine
+
+__all__ = [
+    "Opportunity",
+    "predict_program_speedup",
+    "summarize",
+    "top_line",
+    "DEFAULT_SPEEDUPS",
+    "CozConfig",
+    "ExperimentResult",
+    "CausalProfile",
+    "LatencyPoint",
+    "LineProfile",
+    "ProfileData",
+    "ProfilePoint",
+    "RunInfo",
+    "build_causal_profile",
+    "build_latency_profile",
+    "build_line_profile",
+    "CausalProfiler",
+    "LatencySpec",
+    "ProgressPoint",
+    "ProgressTracker",
+    "render_line_graph",
+    "render_profile",
+    "to_coz_format",
+    "to_csv",
+    "DelayEngine",
+]

@@ -1,0 +1,87 @@
+"""Interpreting causal profiles (§2 'Interpreting a causal profile', §4.3).
+
+Ranking and contention detection live on
+:class:`~repro.core.profile_data.CausalProfile`; this module adds the
+cross-cutting analyses the paper's evaluation performs:
+
+* predicting the program speedup of a *concrete* optimization that speeds a
+  line up by x% (the §4.3 accuracy methodology: ferret's +27% line speedup
+  => predicted 21.4% program speedup);
+* summarizing a profile into the "top optimization opportunities" view used
+  in Table 4.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.profile_data import CausalProfile, LineProfile
+from repro.sim.source import SourceLine
+
+
+def predict_program_speedup(profile: LineProfile, line_speedup_pct: float) -> float:
+    """Predicted program speedup (fraction) if the line gets ``pct`` faster.
+
+    Linearly interpolates between measured virtual-speedup points; clamps to
+    the measured range (Coz never extrapolates beyond 100%).
+    """
+    pts = sorted(profile.points, key=lambda p: p.speedup_pct)
+    if not pts:
+        raise ValueError("profile has no points")
+    x = max(pts[0].speedup_pct, min(line_speedup_pct, pts[-1].speedup_pct))
+    xs = [p.speedup_pct for p in pts]
+    i = bisect_left(xs, x)
+    if i < len(xs) and xs[i] == x:
+        return pts[i].program_speedup
+    lo, hi = pts[i - 1], pts[i]
+    frac = (x - lo.speedup_pct) / (hi.speedup_pct - lo.speedup_pct)
+    return lo.program_speedup + frac * (hi.program_speedup - lo.program_speedup)
+
+
+@dataclass
+class Opportunity:
+    """One ranked entry of a profile summary."""
+
+    rank: int
+    line: SourceLine
+    slope: float
+    max_program_speedup: float
+    contended: bool
+    n_points: int
+
+    @property
+    def kind(self) -> str:
+        if self.contended:
+            return "contention"
+        if self.slope > 0.02:
+            return "optimize"
+        return "no-impact"
+
+
+def summarize(
+    profile: CausalProfile,
+    top: Optional[int] = None,
+    contention_threshold: float = 0.05,
+) -> List[Opportunity]:
+    """Ranked optimization opportunities, Coz's default presentation."""
+    out = []
+    for i, lp in enumerate(profile.ranked()):
+        out.append(
+            Opportunity(
+                rank=i + 1,
+                line=lp.line,
+                slope=lp.slope,
+                max_program_speedup=lp.max_program_speedup,
+                contended=lp.is_contended(contention_threshold),
+                n_points=len(lp.points),
+            )
+        )
+    return out[:top] if top is not None else out
+
+
+def top_line(profile: CausalProfile) -> Optional[SourceLine]:
+    """The single best optimization opportunity (Table 4's right column)."""
+    ranked = profile.ranked()
+    return ranked[0].line if ranked else None

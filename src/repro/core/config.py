@@ -1,0 +1,87 @@
+"""Configuration for the causal profiler.
+
+Defaults mirror the paper's: 1 ms sampling period, batches of ten samples,
+a 10 ms cooloff between experiments, a minimum of five progress-point visits
+per experiment (doubling the experiment length otherwise), virtual speedups
+selected from {0, 5, 10, ..., 100} % with 0 % chosen half the time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.sim.clock import MS, US
+from repro.sim.source import Scope, SourceLine
+
+#: the paper's speedup grid: multiples of 5% from 0 to 100
+DEFAULT_SPEEDUPS: Tuple[int, ...] = tuple(range(0, 105, 5))
+
+
+@dataclass
+class CozConfig:
+    """Everything tunable about a causal-profiling run."""
+
+    # --- scope & selection --------------------------------------------------
+    #: which source files experiments may select lines from (§3.1)
+    scope: Scope = field(default_factory=Scope.all_main)
+    #: candidate virtual-speedup percentages
+    speedup_values: Tuple[int, ...] = DEFAULT_SPEEDUPS
+    #: probability of selecting the 0% baseline speedup (§3.2)
+    zero_speedup_prob: float = 0.5
+    #: profile only this line instead of sampling-driven random selection
+    #: (used for focused accuracy studies, §4.3)
+    fixed_line: Optional[SourceLine] = None
+    #: cycle deterministically through these speedups instead of sampling
+    #: randomly (dense sweeps for figure regeneration)
+    speedup_schedule: Optional[Sequence[int]] = None
+    #: RNG seed for line/speedup selection
+    seed: int = 0
+
+    # --- experiment pacing ----------------------------------------------------
+    #: initial experiment length (doubles when visits are too few)
+    experiment_duration_ns: int = MS(50)
+    #: minimum progress-point visits per experiment before doubling
+    min_visits: int = 5
+    #: cooloff between experiments; None = batch_size x sample period (§3.2)
+    cooloff_ns: Optional[int] = None
+
+    # --- mechanisms (overhead-study switches, Figure 9 configurations) -------
+    #: sample the program at all (off = "startup-only" configuration)
+    enable_sampling: bool = True
+    #: insert virtual-speedup delays (off = "sampling-only": all speedups 0)
+    enable_delays: bool = True
+    #: use the minimal-delay optimization of §3.4.3 (off = naive: the thread
+    #: that executed the selected line also pauses)
+    minimal_delays: bool = True
+    #: apply the phase correction factor of eq. (8)
+    phase_correction: bool = True
+
+    # --- overhead model (drives Figure 9) -------------------------------------
+    #: startup cost of processing debug information, per notional KB
+    startup_cost_per_kb_ns: int = US(12)
+    #: CPU cost of processing one sample
+    sample_process_cost_ns: int = US(2)
+    #: CPU cost of starting/stopping perf_event sampling in a new thread
+    thread_attach_cost_ns: int = US(40)
+    #: nanosleep overshoot: inserted pauses run long by up to this much, and
+    #: the excess is subtracted from future pauses (§3.4 "accurate timing")
+    nanosleep_jitter_ns: int = 0
+
+    def resolved_cooloff(self, sample_period_ns: int, sample_batch: int) -> int:
+        """The inter-experiment cooloff (default: one sample batch, 10 ms)."""
+        if self.cooloff_ns is not None:
+            return self.cooloff_ns
+        return sample_period_ns * sample_batch
+
+    def validate(self) -> None:
+        if not 0.0 <= self.zero_speedup_prob <= 1.0:
+            raise ValueError("zero_speedup_prob must be in [0, 1]")
+        if self.experiment_duration_ns <= 0:
+            raise ValueError("experiment duration must be positive")
+        if any(not 0 <= s <= 100 for s in self.speedup_values):
+            raise ValueError("speedup percentages must be in [0, 100]")
+        if 0 not in self.speedup_values and self.speedup_schedule is None:
+            raise ValueError("speedup_values must include the 0% baseline")
+        if self.min_visits < 1:
+            raise ValueError("min_visits must be >= 1")

@@ -1,0 +1,347 @@
+"""Combining experiments into a causal profile (§2, "Producing a causal
+profile").
+
+Rules from the paper, all implemented here:
+
+* experiments with the same independent variables (line, speedup) are
+  combined by *adding* progress-point visits and effective durations;
+* lines without a 0% baseline measurement are discarded — the baseline is
+  measured separately per line so line-dependent overhead cancels;
+* lines with fewer than ``min_speedup_amounts`` distinct speedups are
+  discarded (default five, like Coz);
+* program speedup for a (line, speedup) group is the percent change in the
+  progress period versus that line's baseline: ``1 - p_s / p_0``;
+* the phase correction (eq. 8) scales each measured speedup by
+  ``(t_obs / s_obs) * (s / T)`` where ``s`` is the line's whole-run sample
+  count and ``T`` the whole-run effective duration.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.experiment import ExperimentResult
+from repro.core.progress import LatencySpec
+from repro.sim.source import SourceLine
+from repro.stats.bootstrap import bootstrap_se
+from repro.stats.regression import Regression, linear_regression
+
+
+@dataclass
+class RunInfo:
+    """Whole-run context needed by the phase correction."""
+
+    runtime_ns: int
+    total_delay_ns: int
+    #: samples per attributed source line over the entire run
+    line_samples: Counter = field(default_factory=Counter)
+
+    @property
+    def effective_ns(self) -> int:
+        return self.runtime_ns - self.total_delay_ns
+
+
+class ProfileData:
+    """Raw profiler output: experiments plus per-run sampling totals."""
+
+    def __init__(self) -> None:
+        self.experiments: List[ExperimentResult] = []
+        self.runs: List[RunInfo] = []
+
+    def add_experiment(self, result: ExperimentResult) -> None:
+        self.experiments.append(result)
+
+    def add_run(self, info: RunInfo) -> None:
+        self.runs.append(info)
+
+    def merge(self, other: "ProfileData") -> "ProfileData":
+        """Accumulate another profiling run's data (same program!)."""
+        self.experiments.extend(other.experiments)
+        self.runs.extend(other.runs)
+        return self
+
+    # -- whole-run totals ----------------------------------------------------------
+
+    def total_effective_ns(self) -> int:
+        return sum(r.effective_ns for r in self.runs)
+
+    def total_line_samples(self, line: SourceLine) -> int:
+        return sum(r.line_samples.get(line, 0) for r in self.runs)
+
+    def progress_names(self) -> List[str]:
+        names = set()
+        for e in self.experiments:
+            names.update(e.visits)
+        return sorted(names)
+
+    def lines(self) -> List[SourceLine]:
+        return sorted({e.line for e in self.experiments})
+
+
+@dataclass
+class ProfilePoint:
+    """One (virtual speedup, program speedup) point of a line's graph."""
+
+    speedup_pct: int
+    program_speedup: float      # fraction: 0.045 = 4.5% program speedup
+    se: float                   # bootstrap standard error (fraction)
+    n_experiments: int
+    visits: int                 # combined progress visits in the group
+
+    @property
+    def program_speedup_pct(self) -> float:
+        return 100.0 * self.program_speedup
+
+
+@dataclass
+class LineProfile:
+    """The causal profile graph of one source line for one progress point."""
+
+    line: SourceLine
+    progress_point: str
+    points: List[ProfilePoint]
+    #: eq. 8 correction factor that was applied (1.0 when disabled)
+    phase_factor: float
+    #: whole-run samples attributed to this line (s in eq. 6)
+    total_samples: int
+
+    _regression: Optional[Regression] = field(default=None, repr=False)
+
+    @property
+    def slope(self) -> float:
+        """Coz's ranking metric: OLS slope of program speedup vs. speedup.
+
+        Both axes as fractions, so a slope of 1.0 means program speedup
+        tracks line speedup one-for-one (a perfectly serial line).
+        """
+        return self.regression.slope
+
+    @property
+    def regression(self) -> Regression:
+        if self._regression is None:
+            xs = [p.speedup_pct / 100.0 for p in self.points]
+            ys = [p.program_speedup for p in self.points]
+            self._regression = linear_regression(xs, ys)
+        return self._regression
+
+    @property
+    def max_program_speedup(self) -> float:
+        return max(p.program_speedup for p in self.points)
+
+    def point_at(self, speedup_pct: int) -> Optional[ProfilePoint]:
+        for p in self.points:
+            if p.speedup_pct == speedup_pct:
+                return p
+        return None
+
+    def is_contended(self, threshold: float = 0.05) -> bool:
+        """Downward-sloping profile: optimizing this line *hurts* (§2)."""
+        return self.slope < -threshold
+
+
+def _combined_period(group: Sequence[ExperimentResult], point: str):
+    """Combined progress period over a group of same-variable experiments."""
+    visits = sum(e.visits.get(point, 0) for e in group)
+    eff = sum(e.effective_ns for e in group)
+    if visits <= 0 or eff <= 0:
+        return None, visits
+    return eff / visits, visits
+
+
+def _group_speedup(
+    baseline: Sequence[ExperimentResult],
+    group: Sequence[ExperimentResult],
+    point: str,
+) -> Optional[float]:
+    p0, _ = _combined_period(baseline, point)
+    ps, _ = _combined_period(group, point)
+    if p0 is None or ps is None:
+        return None
+    return 1.0 - ps / p0
+
+
+def build_line_profile(
+    data: ProfileData,
+    line: SourceLine,
+    point: str,
+    phase_correction: bool = True,
+    n_boot: int = 200,
+    seed: int = 0,
+) -> Optional[LineProfile]:
+    """Build one line's causal profile graph, or None if data is unusable."""
+    by_speedup: Dict[int, List[ExperimentResult]] = defaultdict(list)
+    for e in data.experiments:
+        if e.line == line:
+            by_speedup[e.speedup_pct].append(e)
+    baseline = by_speedup.get(0)
+    if not baseline:
+        return None  # no 0% measurement: cannot normalize (paper rule)
+
+    # phase correction factor (eq. 8), shared across the line's groups
+    factor = 1.0
+    total_s = data.total_line_samples(line)
+    if phase_correction:
+        t_obs = sum(e.duration_ns for e in data.experiments if e.line == line)
+        s_obs = sum(e.selected_samples for e in data.experiments if e.line == line)
+        total_t = data.total_effective_ns()
+        if s_obs > 0 and total_t > 0:
+            factor = min(1.0, (t_obs / s_obs) * (total_s / total_t))
+
+    points: List[ProfilePoint] = []
+    for pct in sorted(by_speedup):
+        group = by_speedup[pct]
+        raw = _group_speedup(baseline, group, point)
+        if raw is None:
+            continue
+        se = _bootstrap_group_se(baseline, group, point, n_boot, seed + pct)
+        points.append(
+            ProfilePoint(
+                speedup_pct=pct,
+                program_speedup=raw * factor,
+                se=se * factor,
+                n_experiments=len(group),
+                visits=sum(e.visits.get(point, 0) for e in group),
+            )
+        )
+    if len(points) < 2:
+        return None
+    return LineProfile(
+        line=line,
+        progress_point=point,
+        points=points,
+        phase_factor=factor,
+        total_samples=total_s,
+    )
+
+
+def _bootstrap_group_se(
+    baseline: Sequence[ExperimentResult],
+    group: Sequence[ExperimentResult],
+    point: str,
+    n_boot: int,
+    seed: int,
+) -> float:
+    """SE of the group speedup by resampling experiments in both groups."""
+    if len(baseline) < 2 and len(group) < 2:
+        return 0.0
+    import random
+
+    rng = random.Random(seed)
+    vals = []
+    for _ in range(n_boot):
+        b = [baseline[rng.randrange(len(baseline))] for _ in baseline]
+        g = [group[rng.randrange(len(group))] for _ in group]
+        s = _group_speedup(b, g, point)
+        if s is not None:
+            vals.append(s)
+    if len(vals) < 2:
+        return 0.0
+    m = sum(vals) / len(vals)
+    return (sum((v - m) ** 2 for v in vals) / (len(vals) - 1)) ** 0.5
+
+
+class CausalProfile:
+    """All line graphs for one progress point, ranked Coz-style."""
+
+    def __init__(self, point: str, lines: List[LineProfile]) -> None:
+        self.point = point
+        self.lines = lines
+
+    def ranked(self) -> List[LineProfile]:
+        """Sorted by regression slope, steepest upward first (§2)."""
+        return sorted(self.lines, key=lambda lp: lp.slope, reverse=True)
+
+    def contended(self, threshold: float = 0.05) -> List[LineProfile]:
+        """Lines whose profiles slope downward: contention signatures."""
+        return sorted(
+            (lp for lp in self.lines if lp.is_contended(threshold)),
+            key=lambda lp: lp.slope,
+        )
+
+    def get(self, line: SourceLine) -> Optional[LineProfile]:
+        for lp in self.lines:
+            if lp.line == line:
+                return lp
+        return None
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+
+def build_causal_profile(
+    data: ProfileData,
+    point: str,
+    min_speedup_amounts: int = 5,
+    phase_correction: bool = True,
+    n_boot: int = 200,
+    seed: int = 0,
+) -> CausalProfile:
+    """Build the full causal profile for one progress point.
+
+    ``min_speedup_amounts`` is Coz's default filter: lines measured at fewer
+    than five distinct virtual speedups are discarded (a plot showing only a
+    75% speedup is not useful, §2).
+    """
+    lines = []
+    for line in data.lines():
+        lp = build_line_profile(
+            data, line, point, phase_correction=phase_correction,
+            n_boot=n_boot, seed=seed,
+        )
+        if lp is None:
+            continue
+        if len(lp.points) < min_speedup_amounts:
+            continue
+        lines.append(lp)
+    return CausalProfile(point, lines)
+
+
+@dataclass
+class LatencyPoint:
+    """One (virtual speedup, latency change) point."""
+
+    speedup_pct: int
+    latency_ns: float
+    latency_reduction: float  # fraction: positive = latency improved
+    n_experiments: int
+
+
+def build_latency_profile(
+    data: ProfileData,
+    line: SourceLine,
+    spec: LatencySpec,
+) -> Optional[List[LatencyPoint]]:
+    """Latency-vs-speedup series for one line via Little's law (§3.3)."""
+    by_speedup: Dict[int, List[ExperimentResult]] = defaultdict(list)
+    for e in data.experiments:
+        if e.line == line:
+            by_speedup[e.speedup_pct].append(e)
+    if 0 not in by_speedup:
+        return None
+
+    def combined_latency(group: Sequence[ExperimentResult]) -> Optional[float]:
+        lat = [e.latency_ns(spec.begin, spec.end) for e in group]
+        lat = [v for v in lat if v is not None]
+        if not lat:
+            return None
+        return sum(lat) / len(lat)
+
+    w0 = combined_latency(by_speedup[0])
+    if w0 is None or w0 <= 0:
+        return None
+    out = []
+    for pct in sorted(by_speedup):
+        w = combined_latency(by_speedup[pct])
+        if w is None:
+            continue
+        out.append(
+            LatencyPoint(
+                speedup_pct=pct,
+                latency_ns=w,
+                latency_reduction=1.0 - w / w0,
+                n_experiments=len(by_speedup[pct]),
+            )
+        )
+    return out if len(out) >= 2 else None

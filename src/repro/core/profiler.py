@@ -1,0 +1,265 @@
+"""The causal profiler (§2-3): experiment coordination on the simulator.
+
+:class:`CausalProfiler` is the simulator-world equivalent of Coz's
+LD_PRELOADed runtime plus its dedicated profiler thread:
+
+* it turns on per-thread IP sampling and charges the corresponding overhead
+  (startup debug-info processing, per-thread perf_event setup, per-sample
+  processing cost) so the Figure 9 overhead study is meaningful;
+* it runs performance experiments: pick a line (the first in-scope sampled
+  line, or a fixed line for focused studies), pick a random virtual speedup
+  (0% half the time), insert delays via the counter protocol for a fixed
+  duration, log progress-point deltas, cool off, repeat;
+* if an experiment sees fewer than ``min_visits`` progress visits, the
+  experiment length doubles for the rest of the run (§2).
+
+One profiler instance profiles one run; merge the resulting
+:class:`~repro.core.profile_data.ProfileData` across runs for denser
+profiles (the harness does this).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from collections import Counter
+
+from repro.core.config import CozConfig
+from repro.core.experiment import ExperimentResult
+from repro.core.profile_data import ProfileData, RunInfo
+from repro.core.progress import LatencySpec, ProgressPoint, ProgressTracker
+from repro.core.speedup import DelayEngine
+from repro.sim.hooks import HookAction, ProfilerHook
+from repro.sim.sampler import Sample
+from repro.sim.source import SourceLine
+from repro.sim.thread import VThread
+
+_WAIT = "wait"          # waiting to select a line for the next experiment
+_RUNNING = "running"    # an experiment is in flight
+_COOLOFF = "cooloff"    # draining samples between experiments
+
+
+class CausalProfiler(ProfilerHook):
+    """Coz as a simulator hook."""
+
+    wants_samples = True
+
+    def __init__(
+        self,
+        config: Optional[CozConfig] = None,
+        progress_points: Sequence[ProgressPoint] = (),
+        latency_specs: Sequence[LatencySpec] = (),
+    ) -> None:
+        self.cfg = config or CozConfig()
+        self.cfg.validate()
+        self.tracker = ProgressTracker(list(progress_points))
+        self.latency_specs = list(latency_specs)
+        self.delays = DelayEngine(
+            minimal=self.cfg.minimal_delays,
+            jitter_ns=self.cfg.nanosleep_jitter_ns,
+            seed=self.cfg.seed ^ 0x5EED,
+        )
+        self.rng = random.Random(self.cfg.seed)
+        self.data = ProfileData()
+
+        self.engine = None
+        self.state = _WAIT
+        self.experiment_duration = self.cfg.experiment_duration_ns
+        self._schedule_idx = 0
+        self._experiment_token = 0
+        self._run_delay_ns = 0
+
+        # per-run sampling totals (attributed lines), for the phase correction
+        self.line_samples: Counter = Counter()
+
+        # current experiment state
+        self._line: Optional[SourceLine] = None
+        self._pct: int = 0
+        self._start_ns: int = 0
+        self._counts_before = {}
+        self._s_obs = 0
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def attach(self, engine) -> None:
+        self.engine = engine
+
+    def on_run_start(self, engine) -> None:
+        if self.cfg.enable_sampling:
+            engine.enable_sampling()
+        for line in self.tracker.breakpoint_lines:
+            engine.watch_line(line)
+        # startup: process debug information for the whole binary (§3.1)
+        program = getattr(engine, "program", None)
+        if program is not None and engine.main_thread is not None:
+            cost = program.debug_size_kb * self.cfg.startup_cost_per_kb_ns
+            engine.main_thread.pending_cpu_ns += cost
+
+    def on_run_end(self, engine) -> None:
+        if self.state == _RUNNING:
+            # program ended mid-experiment; Coz discards the partial result
+            self.delays.end()
+        self.data.add_run(
+            RunInfo(
+                runtime_ns=engine.now,
+                total_delay_ns=self._run_delay_ns,
+                line_samples=self.line_samples,
+            )
+        )
+
+    def on_thread_created(self, thread: VThread, parent: Optional[VThread]) -> None:
+        self.delays.on_thread_created(thread, parent)
+        if self.cfg.enable_sampling:
+            # starting perf_event sampling in the new thread costs CPU (§4.4)
+            thread.pending_cpu_ns += self.cfg.thread_attach_cost_ns
+
+    # ------------------------------------------------------------------ samples
+
+    def on_samples(self, thread: VThread, samples: List[Sample]) -> HookAction:
+        cfg = self.cfg
+        cost = len(samples) * cfg.sample_process_cost_ns
+
+        hits = 0
+        in_scope: List[SourceLine] = []
+        for s in samples:
+            attributed = cfg.scope.first_in_scope(s.callchain)
+            if attributed is None:
+                continue
+            self.line_samples[attributed] += 1
+            self.tracker.on_sample_line(attributed)
+            in_scope.append(attributed)
+            # only samples taken after the experiment started count as hits;
+            # stale buffered samples from before the experiment must not
+            # trigger delays (this is what Coz's cooloff period is for)
+            if (
+                self.state == _RUNNING
+                and attributed == self._line
+                and s.time >= self._start_ns
+            ):
+                hits += 1
+
+        pause = 0
+        if self.state == _RUNNING:
+            self._s_obs += hits
+            pause = self.delays.on_hits(thread, hits)
+        elif self.state == _WAIT:
+            if cfg.fixed_line is not None:
+                selected = cfg.fixed_line if in_scope or samples else None
+            else:
+                selected = self.rng.choice(in_scope) if in_scope else None
+            if selected is not None:
+                self._start_experiment(selected)
+        return HookAction(pause_ns=pause, cpu_ns=cost)
+
+    # ------------------------------------------------------------------ experiments
+
+    def _choose_speedup(self) -> int:
+        cfg = self.cfg
+        if not cfg.enable_delays:
+            return 0  # the "sampling-only" overhead configuration (§4.4)
+        if cfg.speedup_schedule is not None:
+            pct = cfg.speedup_schedule[self._schedule_idx % len(cfg.speedup_schedule)]
+            self._schedule_idx += 1
+            return pct
+        if self.rng.random() < cfg.zero_speedup_prob:
+            return 0
+        nonzero = [s for s in cfg.speedup_values if s != 0]
+        if not nonzero:
+            return 0
+        return self.rng.choice(nonzero)
+
+    def _start_experiment(self, line: SourceLine) -> None:
+        engine = self.engine
+        self._line = line
+        self._pct = self._choose_speedup()
+        delay_ns = self._pct * engine.cfg.sample_period_ns // 100
+        self._start_ns = engine.now
+        self._counts_before = self.tracker.snapshot()
+        self._s_obs = 0
+        self.delays.begin(delay_ns, (t for t in engine.threads if t.alive))
+        self.state = _RUNNING
+        self._experiment_token += 1
+        token = self._experiment_token
+        engine.call_after(self.experiment_duration, lambda: self._end_experiment(token))
+
+    def _end_experiment(self, token: int) -> None:
+        if token != self._experiment_token or self.state != _RUNNING:
+            return
+        engine = self.engine
+        # Settle the books: every runnable thread executes its outstanding
+        # required delays now, so the effective-duration subtraction
+        # (delay_count x delay) matches pauses actually inserted.  Blocked
+        # threads are excluded: their wake is delayed by the waker's pauses,
+        # which is exactly the credit rule.
+        from repro.sim.thread import ThreadState
+
+        for t in engine.threads:
+            if t.alive and t.state is not ThreadState.BLOCKED:
+                pause = self.delays.reconcile(t)
+                if pause > 0:
+                    t.pending_pause_ns += pause
+        count = self.delays.end()
+        counts_after = self.tracker.snapshot()
+        visits = ProgressTracker.delta(self._counts_before, counts_after)
+        delay_ns = self._pct * engine.cfg.sample_period_ns // 100
+        result = ExperimentResult(
+            line=self._line,
+            speedup_pct=self._pct,
+            delay_ns=delay_ns,
+            start_ns=self._start_ns,
+            end_ns=engine.now,
+            delay_count=count,
+            selected_samples=self._s_obs,
+            visits=visits,
+            counts_before=self._counts_before,
+            counts_after=counts_after,
+        )
+        self.data.add_experiment(result)
+        self._run_delay_ns += result.inserted_delay_ns
+
+        # Adaptive experiment length (§2): too few progress visits => double
+        max_visits = max(visits.values(), default=0)
+        if max_visits < self.cfg.min_visits:
+            self.experiment_duration *= 2
+
+        self.state = _COOLOFF
+        cooloff = self.cfg.resolved_cooloff(
+            engine.cfg.sample_period_ns, engine.cfg.sample_batch
+        )
+        self._experiment_token += 1
+        cool_token = self._experiment_token
+        engine.call_after(cooloff, lambda: self._leave_cooloff(cool_token))
+
+    def _leave_cooloff(self, token: int) -> None:
+        if token != self._experiment_token or self.state != _COOLOFF:
+            return
+        self.state = _WAIT
+
+    # ------------------------------------------------------------------ delay edges
+
+    def before_block(self, thread: VThread) -> int:
+        return self.delays.reconcile(thread)
+
+    def before_wake_op(self, thread: VThread) -> int:
+        return self.delays.reconcile(thread)
+
+    def on_unblock(self, thread: VThread, waker: Optional[VThread]) -> int:
+        if waker is not None:
+            self.delays.credit(thread)
+            return 0
+        return self.delays.reconcile(thread)
+
+    # ------------------------------------------------------------------ progress
+
+    def on_progress(self, thread: VThread, name: str) -> None:
+        self.tracker.on_source_visit(name)
+
+    def on_line_visit(self, thread: VThread, line: SourceLine) -> None:
+        self.tracker.on_line_visit(line)
+
+    # ------------------------------------------------------------------ stats
+
+    @property
+    def experiments_run(self) -> int:
+        return len(self.data.experiments)

@@ -1,0 +1,92 @@
+"""Rendering causal profiles: text tables, ASCII graphs, CSV, and the real
+Coz profile format.
+
+``to_coz_format`` emits the on-disk format the real ``coz`` tool writes
+(``startup`` / ``experiment`` / ``progress-point`` records), so profiles from
+the simulator can be inspected with the stock Coz plot viewer.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Optional
+
+from repro.core.analysis import summarize
+from repro.core.profile_data import CausalProfile, LineProfile, ProfileData
+
+
+def render_profile(profile: CausalProfile, top: Optional[int] = 10) -> str:
+    """The ranked-table view of a causal profile."""
+    buf = io.StringIO()
+    buf.write(f"Causal profile for progress point '{profile.point}'\n")
+    buf.write(f"{'rank':>4}  {'line':<28} {'slope':>8} {'max speedup':>12} {'kind':<11}\n")
+    for opp in summarize(profile, top=top):
+        buf.write(
+            f"{opp.rank:>4}  {str(opp.line):<28} {opp.slope:>+8.3f} "
+            f"{100 * opp.max_program_speedup:>+11.2f}% {opp.kind:<11}\n"
+        )
+    return buf.getvalue()
+
+
+def render_line_graph(lp: LineProfile, width: int = 50, height: int = 12) -> str:
+    """An ASCII rendition of one line's causal-profile plot (Figure 2b)."""
+    pts = sorted(lp.points, key=lambda p: p.speedup_pct)
+    ys = [p.program_speedup_pct for p in pts]
+    lo = min(0.0, min(ys))
+    hi = max(0.0, max(ys))
+    if hi == lo:
+        hi = lo + 1.0
+    rows = [[" "] * (width + 1) for _ in range(height + 1)]
+    for p in pts:
+        col = round(p.speedup_pct / 100 * width)
+        row = height - round((p.program_speedup_pct - lo) / (hi - lo) * height)
+        rows[row][col] = "*"
+    zero_row = height - round((0.0 - lo) / (hi - lo) * height)
+    for c in range(width + 1):
+        if rows[zero_row][c] == " ":
+            rows[zero_row][c] = "-"
+    buf = io.StringIO()
+    buf.write(f"{lp.line}  (slope {lp.slope:+.3f})\n")
+    buf.write(f"program speedup %  [{lo:+.1f} .. {hi:+.1f}]\n")
+    for row in rows:
+        buf.write("".join(row) + "\n")
+    buf.write("0%" + " " * (width - 6) + "100%  line speedup\n")
+    return buf.getvalue()
+
+
+def to_csv(profile: CausalProfile) -> str:
+    """Flat CSV of every (line, speedup, program speedup, se) point."""
+    buf = io.StringIO()
+    buf.write("line,progress_point,speedup_pct,program_speedup_pct,se_pct,n_experiments,visits\n")
+    for lp in profile.ranked():
+        for p in sorted(lp.points, key=lambda p: p.speedup_pct):
+            buf.write(
+                f"{lp.line},{profile.point},{p.speedup_pct},"
+                f"{p.program_speedup_pct:.4f},{100 * p.se:.4f},"
+                f"{p.n_experiments},{p.visits}\n"
+            )
+    return buf.getvalue()
+
+
+def to_coz_format(data: ProfileData, runtime_ns: Optional[int] = None) -> str:
+    """Serialize raw experiments in the real Coz profile file format.
+
+    Each experiment becomes an ``experiment`` record followed by one
+    ``progress-point`` record per measured progress point, mirroring what
+    ``coz run`` writes to ``profile.coz``.
+    """
+    buf = io.StringIO()
+    start = 0
+    if data.runs:
+        start = data.runs[0].runtime_ns
+    buf.write(f"startup\ttime={start if runtime_ns is None else runtime_ns}\n")
+    for e in data.experiments:
+        buf.write(
+            f"experiment\tselected={e.line}\tspeedup={e.speedup_pct / 100:.2f}\t"
+            f"duration={e.duration_ns}\tselected-samples={e.selected_samples}\n"
+        )
+        for name in sorted(e.visits):
+            buf.write(
+                f"progress-point\tname={name}\ttype=source\tdelta={e.visits[name]}\n"
+            )
+    return buf.getvalue()

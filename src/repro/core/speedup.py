@@ -1,0 +1,136 @@
+"""Virtual speedup delay accounting (§3.4).
+
+The sampled virtual-speedup protocol, exactly as in the paper:
+
+* every sample that falls in the selected line means *all other threads*
+  must pause for ``delay_ns`` (= speedup% x sampling period, eq. 4);
+* inter-thread pausing is mediated by counters, not signals: a shared
+  **global** count of required pauses, and a per-thread **local** count of
+  pauses already executed (or credited);
+* the *minimal delay* optimization (§3.4.3): a thread that executed the
+  selected line increments only its **local** count — so if every thread
+  runs the line equally often, nobody pauses at all.  The invariant is
+  ``local count == samples-in-line + pauses`` for every thread;
+* a thread must catch up (``local < global`` => pause) after processing its
+  samples, before any potentially blocking call (Table 2), and before any
+  potentially waking call (Table 1);
+* a thread woken by a peer is *credited*: ``local = global`` with no pause;
+  a thread woken by a timer (sleep/IO) pays its accumulated delays;
+* nanosleep may overshoot; the excess is tracked per thread and subtracted
+  from future pauses ("Ensuring accurate timing").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.sim.thread import VThread
+
+_LOCAL = "coz_local"
+_EXCESS = "coz_excess"
+
+
+class DelayEngine:
+    """Counter-based delay coordination for one experiment at a time."""
+
+    def __init__(
+        self,
+        minimal: bool = True,
+        jitter_ns: int = 0,
+        seed: int = 0,
+    ) -> None:
+        self.minimal = minimal
+        self.jitter_ns = jitter_ns
+        self._rng = random.Random(seed)
+        self.active = False
+        self.delay_ns = 0
+        self.global_count = 0
+        #: pauses actually inserted, in ns, across all threads (diagnostics)
+        self.total_inserted_ns = 0
+
+    # -- experiment lifecycle --------------------------------------------------
+
+    def begin(self, delay_ns: int, threads) -> None:
+        """Start an experiment with a per-sample delay of ``delay_ns``."""
+        self.active = True
+        self.delay_ns = delay_ns
+        self.global_count = 0
+        for t in threads:
+            t.prof[_LOCAL] = 0
+
+    def end(self) -> int:
+        """Stop inserting delays; returns the final global count."""
+        self.active = False
+        count = self.global_count
+        self.delay_ns = 0
+        return count
+
+    # -- per-thread protocol ---------------------------------------------------
+
+    def on_hits(self, thread: VThread, hits: int) -> int:
+        """``hits`` processed samples fell in the selected line.
+
+        Returns the pause to insert in *this* thread right now (normally 0
+        under the minimal-delay scheme, since executing the line is self-
+        crediting).
+        """
+        if not self.active or hits <= 0:
+            return self.reconcile(thread)
+        thread.prof[_LOCAL] = thread.prof.get(_LOCAL, 0) + hits
+        if not self.minimal:
+            # pre-optimization scheme (ablation): the global count rises on
+            # every hit, so *all* other threads pause even when they execute
+            # the selected line just as often (num_threads - 1 pauses/hit).
+            self.global_count += hits
+        # minimal scheme (§3.4.3): only the local count was incremented; the
+        # reconcile below raises the global when local exceeds it, so other
+        # threads pause — but a thread that runs the line itself is
+        # self-credited and never pauses for its own executions.
+        return self.reconcile(thread)
+
+    def reconcile(self, thread: VThread) -> int:
+        """Catch a thread up with the global count; returns pause ns."""
+        if not self.active:
+            return 0
+        local = thread.prof.get(_LOCAL, 0)
+        if local > self.global_count:
+            self.global_count = local
+            return 0
+        if local == self.global_count:
+            return 0
+        required = (self.global_count - local) * self.delay_ns
+        thread.prof[_LOCAL] = self.global_count
+        return self._apply_excess(thread, required)
+
+    def credit(self, thread: VThread) -> None:
+        """Thread was woken by a peer: its waker already paid the delays."""
+        if self.active:
+            thread.prof[_LOCAL] = self.global_count
+
+    def on_thread_created(self, child: VThread, parent: Optional[VThread]) -> None:
+        """A new thread inherits its parent's local count (§3.4, 'Thread
+        creation'): delays inserted into the parent also delayed the spawn."""
+        if not self.active:
+            return
+        if parent is not None:
+            child.prof[_LOCAL] = parent.prof.get(_LOCAL, 0)
+        else:
+            child.prof[_LOCAL] = self.global_count
+
+    # -- nanosleep excess ----------------------------------------------------------
+
+    def _apply_excess(self, thread: VThread, required: int) -> int:
+        """Adjust a required pause for previously-overshot sleeps."""
+        excess = thread.prof.get(_EXCESS, 0)
+        if excess >= required:
+            thread.prof[_EXCESS] = excess - required
+            return 0
+        pause = required - excess
+        thread.prof[_EXCESS] = 0
+        if self.jitter_ns > 0:
+            overshoot = self._rng.randrange(self.jitter_ns + 1)
+            thread.prof[_EXCESS] = overshoot
+            pause += overshoot
+        self.total_inserted_ns += pause
+        return pause

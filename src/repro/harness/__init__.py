@@ -1,0 +1,13 @@
+"""Evaluation harness: profiling runs, before/after comparisons, overhead
+breakdowns, and prediction-accuracy studies — the machinery behind every
+table and figure in the paper's evaluation (§4)."""
+
+from repro.harness.runner import profile_app, profile_program
+from repro.harness.comparison import compare_builds, measure_runtimes
+
+__all__ = [
+    "profile_app",
+    "profile_program",
+    "compare_builds",
+    "measure_runtimes",
+]

@@ -1,0 +1,90 @@
+"""Profiling-overhead breakdown (§4.4, Figure 9).
+
+The paper measures Coz's overhead by running each benchmark in four
+configurations and differencing successive runtimes:
+
+1. no profiler at all                           -> baseline
+2. Coz, terminated right after startup work     -> + startup overhead
+3. Coz sampling but never inserting delays      -> + sampling overhead
+4. Coz fully enabled                            -> + delay overhead
+
+The simulator reproduces the same protocol: configuration 2 charges only the
+debug-info processing cost, configuration 3 runs experiments whose virtual
+speedup is always 0% (the paper's exact description), and configuration 4 is
+the full profiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from statistics import mean
+from typing import Callable, List, Optional
+
+from repro.apps.spec import AppSpec
+from repro.core.config import CozConfig
+from repro.core.profiler import CausalProfiler
+
+
+@dataclass
+class OverheadBreakdown:
+    """One Figure 9 bar: per-category overhead as % of baseline runtime."""
+
+    name: str
+    baseline_ns: float
+    startup_pct: float
+    sampling_pct: float
+    delay_pct: float
+
+    @property
+    def total_pct(self) -> float:
+        return self.startup_pct + self.sampling_pct + self.delay_pct
+
+    def row(self) -> str:
+        return (
+            f"{self.name:<14} startup={self.startup_pct:>5.1f}%  "
+            f"sampling={self.sampling_pct:>5.1f}%  delays={self.delay_pct:>5.1f}%  "
+            f"total={self.total_pct:>5.1f}%"
+        )
+
+
+def measure_overhead(
+    spec: AppSpec,
+    coz_config: Optional[CozConfig] = None,
+    runs: int = 3,
+    base_seed: int = 0,
+) -> OverheadBreakdown:
+    """Run the four-configuration protocol on one app."""
+    coz_config = coz_config or CozConfig()
+    if coz_config.scope.files is None and spec.scope.files is not None:
+        coz_config = replace(coz_config, scope=spec.scope)
+
+    def timed(make_hook: Optional[Callable[[int], CausalProfiler]]) -> float:
+        times: List[int] = []
+        for i in range(runs):
+            hook = make_hook(base_seed + i) if make_hook is not None else None
+            result = spec.build(base_seed + i).run(hook=hook)
+            times.append(result.runtime_ns)
+        return mean(times)
+
+    def profiler_with(seed: int, **changes) -> CausalProfiler:
+        cfg = replace(coz_config, seed=seed, **changes)
+        return CausalProfiler(cfg, spec.progress_points, spec.latency_specs)
+
+    t_base = timed(None)
+    # startup-only: debug info processed, but no sampling and no experiments
+    t_startup = timed(lambda s: profiler_with(s, enable_sampling=False))
+    # sampling-only: experiments run with every virtual speedup forced to 0%
+    t_sampling = timed(lambda s: profiler_with(s, enable_delays=False))
+    # full
+    t_full = timed(lambda s: profiler_with(s))
+
+    def pct(hi: float, lo: float) -> float:
+        return 100.0 * (hi - lo) / t_base
+
+    return OverheadBreakdown(
+        name=spec.name,
+        baseline_ns=t_base,
+        startup_pct=pct(t_startup, t_base),
+        sampling_pct=pct(t_sampling, t_startup),
+        delay_pct=pct(t_full, t_sampling),
+    )

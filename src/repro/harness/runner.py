@@ -1,0 +1,86 @@
+"""Profiling runner: run an app under the causal profiler, merge profiles.
+
+Coz accumulates profile data across program executions; dense causal
+profiles come from many short runs.  :func:`profile_app` runs an
+:class:`~repro.apps.spec.AppSpec` ``runs`` times with per-run seeds and
+returns the merged :class:`~repro.core.profile_data.ProfileData` plus the
+built profile for the app's primary progress point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.apps.spec import AppSpec
+from repro.core.config import CozConfig
+from repro.core.profile_data import CausalProfile, ProfileData, build_causal_profile
+from repro.core.profiler import CausalProfiler
+from repro.sim.engine import SimConfig
+from repro.sim.program import Program, RunResult
+
+
+@dataclass
+class ProfileOutcome:
+    """Merged result of a multi-run profiling session."""
+
+    data: ProfileData
+    profile: CausalProfile
+    run_results: List[RunResult] = field(default_factory=list)
+
+    @property
+    def experiment_count(self) -> int:
+        return len(self.data.experiments)
+
+
+def profile_program(
+    program_factory,
+    progress_points,
+    primary_progress: str,
+    runs: int = 5,
+    coz_config: Optional[CozConfig] = None,
+    latency_specs=(),
+    min_speedup_amounts: int = 2,
+    base_seed: int = 0,
+) -> ProfileOutcome:
+    """Profile ``runs`` fresh programs from ``program_factory(seed)``."""
+    coz_config = coz_config or CozConfig()
+    data = ProfileData()
+    run_results = []
+    for i in range(runs):
+        cfg = replace(coz_config, seed=base_seed + i)
+        profiler = CausalProfiler(cfg, progress_points, latency_specs)
+        program = program_factory(base_seed + i)
+        result = program.run(hook=profiler)
+        run_results.append(result)
+        data.merge(profiler.data)
+    profile = build_causal_profile(
+        data,
+        primary_progress,
+        min_speedup_amounts=min_speedup_amounts,
+        phase_correction=coz_config.phase_correction,
+    )
+    return ProfileOutcome(data=data, profile=profile, run_results=run_results)
+
+
+def profile_app(
+    spec: AppSpec,
+    runs: int = 5,
+    coz_config: Optional[CozConfig] = None,
+    min_speedup_amounts: int = 2,
+    base_seed: int = 0,
+) -> ProfileOutcome:
+    """Profile an app spec with its own scope and progress points."""
+    coz_config = coz_config or CozConfig()
+    if coz_config.scope.files is None and spec.scope.files is not None:
+        coz_config = replace(coz_config, scope=spec.scope)
+    return profile_program(
+        spec.build,
+        spec.progress_points,
+        spec.primary_progress,
+        runs=runs,
+        coz_config=coz_config,
+        latency_specs=spec.latency_specs,
+        min_speedup_amounts=min_speedup_amounts,
+        base_seed=base_seed,
+    )

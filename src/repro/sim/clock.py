@@ -1,0 +1,46 @@
+"""Virtual time units and helpers.
+
+All simulator time is integer nanoseconds.  The helpers below convert from
+human-friendly units; they always return ``int`` so that event times compare
+exactly and simulation stays deterministic.
+"""
+
+from __future__ import annotations
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+def US(x: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return int(round(x * NS_PER_US))
+
+
+def MS(x: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return int(round(x * NS_PER_MS))
+
+
+def SEC(x: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return int(round(x * NS_PER_SEC))
+
+
+def fmt_ns(ns: int) -> str:
+    """Render a nanosecond quantity with an adaptive unit, for reports.
+
+    >>> fmt_ns(1_500)
+    '1.500us'
+    >>> fmt_ns(2_000_000_000)
+    '2.000s'
+    """
+    if ns < 0:
+        return "-" + fmt_ns(-ns)
+    if ns < NS_PER_US:
+        return f"{ns}ns"
+    if ns < NS_PER_MS:
+        return f"{ns / NS_PER_US:.3f}us"
+    if ns < NS_PER_SEC:
+        return f"{ns / NS_PER_MS:.3f}ms"
+    return f"{ns / NS_PER_SEC:.3f}s"

@@ -1,0 +1,692 @@
+"""The discrete-event execution engine.
+
+The engine schedules virtual threads (generator coroutines) onto a fixed
+number of virtual cores, advancing an integer nanosecond clock from event to
+event.  It is deliberately shaped like the slice of the system Coz lives in:
+
+* threads execute on-CPU *chunks* bounded by a scheduling quantum, so the
+  machine is fair under oversubscription (50 memcached clients on 8 cores)
+  and the profiler gets control at a bounded latency;
+* per-thread CPU-time sampling accrues during chunks and is delivered to the
+  installed :class:`~repro.sim.hooks.ProfilerHook` in batches at chunk
+  boundaries;
+* every blocking and waking edge of every synchronization primitive passes
+  through the hook, which may insert pauses before the edge or skip credited
+  pauses after it — the exact interposition surface of paper Tables 1-2;
+* an optional *interference model*: threads marked as spinning raise a global
+  interference level that slows down memory-bound work elsewhere, modelling
+  the cache-coherence traffic of busy-wait loops.
+
+Determinism: given the same program and configuration, event ordering is a
+pure function of (time, sequence-number), so runs are exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Set
+
+from repro.sim import ops as O
+from repro.sim.clock import MS, US
+from repro.sim.errors import DeadlockError, SimulationError, SyncError
+from repro.sim.hooks import Observer, ProfilerHook
+from repro.sim.sampler import Sampler
+from repro.sim.source import RUNTIME_LINE, SourceLine
+from repro.sim.sync import Barrier, CondVar, Mutex, Semaphore
+from repro.sim.thread import Frame, ThreadState, VThread
+
+BLOCKED = ThreadState.BLOCKED
+FINISHED = ThreadState.FINISHED
+READY = ThreadState.READY
+RUNNING = ThreadState.RUNNING
+SLEEPING = ThreadState.SLEEPING
+
+
+@dataclass
+class SimConfig:
+    """Machine and runtime-cost model parameters."""
+
+    #: number of virtual cores
+    cores: int = 8
+    #: maximum on-CPU chunk length (scheduling quantum / hook latency bound)
+    quantum_ns: int = MS(2)
+    #: per-thread CPU-time sampling period (Coz default: 1 ms)
+    sample_period_ns: int = MS(1)
+    #: samples per processing batch (Coz default: 10)
+    sample_batch: int = 10
+    #: slowdown of memory-bound work per spinning thread (cache coherence)
+    interference_coeff: float = 0.0
+    #: CPU cost of a mutex lock/unlock/trylock operation
+    lock_cost_ns: int = 60
+    #: CPU cost of condvar/barrier/semaphore operations
+    sync_cost_ns: int = 150
+    #: CPU cost of spawning a thread
+    spawn_cost_ns: int = US(5)
+    #: hard stop for runaway simulations (None = unlimited)
+    max_virtual_ns: Optional[int] = None
+    #: engine RNG seed: drives per-thread sampling phase jitter
+    seed: int = 0
+    #: process a thread's buffered samples before it blocks (Coz's runtime
+    #: interposes on blocking calls and drains available samples there, so
+    #: mostly-blocked threads do not sit on stale batches)
+    flush_samples_on_block: bool = True
+    #: randomize each thread's sampling phase (realistic perf_event behaviour;
+    #: also prevents aliasing between aligned sampling clocks and periodic
+    #: work, a bias source the paper warns about)
+    sample_phase_jitter: bool = True
+
+
+class Engine:
+    """Event-driven scheduler for virtual threads."""
+
+    def __init__(self, config: Optional[SimConfig] = None) -> None:
+        self.cfg = config or SimConfig()
+        if self.cfg.cores < 1:
+            raise ValueError("need at least one core")
+        self.now: int = 0
+        self.rng = random.Random(self.cfg.seed)
+        self._seq: int = 0
+        self._heap: List = []
+        self._timer_count: int = 0  # pending non-thread (timer) events
+
+        self.threads: List[VThread] = []
+        self.ready: Deque[VThread] = deque()
+        self.running: Set[VThread] = set()
+        self._alive = 0
+        self._sleeping = 0
+
+        self.hook: Optional[ProfilerHook] = None
+        self.observers: List[Observer] = []
+        self.sampler = Sampler(self.cfg.sample_period_ns, self.cfg.sample_batch)
+        self.sampling_enabled = False
+        self._observer_sampling = False
+        self._call_overhead_ns = 0
+
+        #: number of threads currently marked as spinning
+        self.interference = 0
+        #: lines registered as breakpoint progress points
+        self._line_watchers: Set[SourceLine] = set()
+        #: raw visit counts of source-level progress points
+        self.progress_counts: Counter = Counter()
+        #: total profiler-inserted pause time across all threads
+        self.total_delay_ns = 0
+        #: total nominal CPU time executed across all threads
+        self.total_cpu_ns = 0
+
+        self.main_thread: Optional[VThread] = None
+        self._started = False
+
+    # ------------------------------------------------------------------ setup
+
+    def install(self, hook: ProfilerHook) -> None:
+        """Install the active profiler hook (at most one)."""
+        if self.hook is not None:
+            raise SimulationError("a profiler hook is already installed")
+        self.hook = hook
+        hook.attach(self)
+
+    def add_observer(self, obs: Observer) -> None:
+        self.observers.append(obs)
+        self._call_overhead_ns = max(
+            self._call_overhead_ns, getattr(obs, "call_overhead_ns", 0)
+        )
+        if getattr(obs, "wants_samples", False):
+            self._observer_sampling = True
+
+    def watch_line(self, line: SourceLine) -> None:
+        """Register a breakpoint progress point on ``line``."""
+        self._line_watchers.add(line)
+
+    def enable_sampling(self) -> None:
+        self.sampling_enabled = True
+
+    # ------------------------------------------------------------------ timers
+
+    def call_at(self, when: int, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at virtual time ``when`` (profiler-thread timers)."""
+        if when < self.now:
+            when = self.now
+        self._timer_count += 1
+
+        def wrapped() -> None:
+            self._timer_count -= 1
+            fn()
+
+        self._push(when, wrapped)
+
+    def call_after(self, delay: int, fn: Callable[[], None]) -> None:
+        self.call_at(self.now + delay, fn)
+
+    def _push(self, when: int, fn: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, fn))
+
+    # ------------------------------------------------------------------ threads
+
+    def spawn(
+        self,
+        body: Callable,
+        name: Optional[str] = None,
+        parent: Optional[VThread] = None,
+    ) -> VThread:
+        """Create a thread and make it runnable."""
+        t = VThread(body, name=name, parent=parent)
+        if self.cfg.sample_phase_jitter:
+            # desynchronize sampling clocks across threads, like real timers
+            t.sample_accum = self.rng.randrange(self.cfg.sample_period_ns)
+        self.threads.append(t)
+        self._alive += 1
+        if self.main_thread is None:
+            self.main_thread = t
+        if self.hook is not None:
+            self.hook.on_thread_created(t, parent)
+        for obs in self.observers:
+            obs.on_thread_created(t, parent)
+        t.state = READY
+        self.ready.append(t)
+        return t
+
+    # ------------------------------------------------------------------ run loop
+
+    def run(self) -> None:
+        """Run until every thread has finished."""
+        if self._started:
+            raise SimulationError("engine.run() may only be called once")
+        self._started = True
+        if self.main_thread is None:
+            raise SimulationError("no threads spawned before run()")
+        if self.hook is not None:
+            self.hook.on_run_start(self)
+        for obs in self.observers:
+            obs.on_run_start(self)
+
+        max_ns = self.cfg.max_virtual_ns
+        self._dispatch()
+        while self._alive:
+            if not self._heap:
+                self._raise_deadlock()
+            when, _seq, fn = heapq.heappop(self._heap)
+            if when > self.now:
+                self.now = when
+            fn()
+            self._dispatch()
+            if max_ns is not None and self.now > max_ns:
+                raise SimulationError(
+                    f"virtual time exceeded max_virtual_ns ({self.now} > {max_ns})"
+                )
+            if self._alive and not self.running and not self.ready:
+                if self._sleeping == 0 and self._timer_count == 0:
+                    self._raise_deadlock()
+
+        if self.hook is not None:
+            self.hook.on_run_end(self)
+        for obs in self.observers:
+            obs.on_run_end(self)
+
+    def _raise_deadlock(self) -> None:
+        blocked = [
+            f"{t.name} on {t.blocked_on}"
+            for t in self.threads
+            if t.state is BLOCKED
+        ]
+        raise DeadlockError(
+            f"no runnable threads at t={self.now}; blocked: {blocked or 'none'}"
+        )
+
+    # ------------------------------------------------------------------ dispatch
+
+    def _dispatch(self) -> None:
+        """Assign ready threads to free cores and drive them."""
+        while self.ready and len(self.running) < self.cfg.cores:
+            t = self.ready.popleft()
+            if t.state is not READY:  # defensive; should not happen
+                continue
+            t.state = RUNNING
+            self.running.add(t)
+            self._drive(t)
+
+    def _drive(self, t: VThread) -> None:
+        """Run ``t`` (RUNNING, on a core) until it needs time or leaves the CPU."""
+        while t.state is RUNNING:
+            if t.pending_cpu_ns > 0:
+                self._start_overhead_slice(t)
+                return
+            if t.pending_pause_ns > 0:
+                self._start_pause(t)
+                return
+            if t.activity_remaining > 0:
+                self._begin_chunk(t)
+                return
+            cont = t.continuation
+            if cont is not None:
+                t.continuation = None
+                cont()
+                continue
+            self._advance(t)
+
+    # ------------------------------------------------------------------ chunks
+
+    def _rate(self, t: VThread) -> float:
+        """Real-ns per nominal-ns for t's current activity."""
+        if not t.activity_memory_bound or self.cfg.interference_coeff == 0.0:
+            return 1.0
+        level = self.interference - (1 if t.spinning else 0)
+        if level <= 0:
+            return 1.0
+        return 1.0 + self.cfg.interference_coeff * level
+
+    def _begin_chunk(self, t: VThread) -> None:
+        nominal = min(t.activity_remaining, self.cfg.quantum_ns)
+        rate = self._rate(t)
+        t.chunk_start = self.now
+        t.chunk_nominal = nominal
+        t.chunk_rate = rate
+        t.chunk_token += 1
+        token = t.chunk_token
+        real = int(math.ceil(nominal * rate))
+        self._push(self.now + real, lambda: self._chunk_done(t, token))
+
+    def _chunk_done(self, t: VThread, token: int) -> None:
+        if t.chunk_token != token or t.state is not RUNNING:
+            return  # stale event after a rescale
+        self._account_cpu(t, t.chunk_nominal, allow_flush=True)
+        t.chunk_nominal = 0
+        # Round-robin fairness: if others are waiting for a core and this
+        # activity still has work, go to the back of the ready queue.
+        if t.activity_remaining > 0 and self.ready:
+            self.running.discard(t)
+            t.state = READY
+            self.ready.append(t)
+            return
+        self._drive(t)
+
+    def _account_cpu(self, t: VThread, nominal: int, allow_flush: bool) -> None:
+        """Book ``nominal`` executed CPU ns: accounting, observers, sampling."""
+        if nominal <= 0:
+            return
+        t.activity_remaining -= nominal
+        t.cpu_ns += nominal
+        self.total_cpu_ns += nominal
+        if self.observers:
+            func = t.current_func()
+            for obs in self.observers:
+                obs.on_work(t, t.activity_line, func, nominal)
+        if self.sampling_enabled or self._observer_sampling:
+            batch = self.sampler.account(
+                t, nominal, self.now, allow_flush, rate=t.chunk_rate
+            )
+            if batch is not None:
+                self._deliver_batch(t, batch)
+
+    def _deliver_batch(self, t: VThread, batch: List) -> None:
+        for obs in self.observers:
+            if getattr(obs, "wants_samples", False):
+                for s in batch:
+                    obs.on_sample(s)
+        if self.hook is not None and self.sampling_enabled:
+            action = self.hook.on_samples(t, batch)
+            if action.pause_ns > 0:
+                t.pending_pause_ns += action.pause_ns
+            if action.cpu_ns > 0:
+                t.pending_cpu_ns += action.cpu_ns
+
+    def _start_pause(self, t: VThread) -> None:
+        """Take the thread off-CPU for its pending profiler-inserted pause."""
+        pause = t.pending_pause_ns
+        t.pending_pause_ns = 0
+        t.pause_ns += pause
+        self.total_delay_ns += pause
+        self._go_offcpu(t, SLEEPING, "inserted-pause")
+        t.chunk_token += 1
+        token = t.chunk_token
+        self._push(self.now + pause, lambda: self._pause_done(t, token))
+
+    def _pause_done(self, t: VThread, token: int) -> None:
+        if t.chunk_token != token or t.state is not SLEEPING:
+            return
+        self._make_ready(t)
+
+    def _start_overhead_slice(self, t: VThread) -> None:
+        """Charge pending profiler CPU cost (sample processing, startup)."""
+        dur = t.pending_cpu_ns
+        t.pending_cpu_ns = 0
+        t.profiler_cpu_ns += dur
+        t.cpu_ns += dur
+        self.total_cpu_ns += dur
+        t.chunk_token += 1
+        token = t.chunk_token
+
+        def done() -> None:
+            if t.chunk_token != token or t.state is not RUNNING:
+                return
+            self._drive(t)
+
+        self._push(self.now + dur, done)
+
+    # ------------------------------------------------------------------ interference
+
+    def _set_spinning(self, t: VThread, spinning: bool) -> None:
+        if t.spinning == spinning:
+            return
+        t.spinning = spinning
+        self.interference += 1 if spinning else -1
+        if self.cfg.interference_coeff:
+            self._rescale_running()
+
+    def _rescale_running(self) -> None:
+        """Re-time in-flight memory-bound chunks after an interference change."""
+        for t in list(self.running):
+            if not t.activity_memory_bound or t.chunk_nominal <= 0:
+                continue
+            elapsed = self.now - t.chunk_start
+            consumed = min(int(elapsed / t.chunk_rate), t.chunk_nominal)
+            self._account_cpu(t, consumed, allow_flush=False)
+            remaining_chunk = t.chunk_nominal - consumed
+            rate = self._rate(t)
+            t.chunk_start = self.now
+            t.chunk_nominal = remaining_chunk
+            t.chunk_rate = rate
+            t.chunk_token += 1
+            token = t.chunk_token
+            real = int(math.ceil(remaining_chunk * rate))
+            self._push(self.now + real, lambda t=t, token=token: self._chunk_done(t, token))
+
+    # ------------------------------------------------------------------ state changes
+
+    def _go_offcpu(self, t: VThread, state: ThreadState, why: Optional[str]) -> None:
+        self.running.discard(t)
+        t.state = state
+        t.blocked_on = why
+        if state is SLEEPING:
+            self._sleeping += 1
+
+    def _block(self, t: VThread, why: str) -> None:
+        self._go_offcpu(t, BLOCKED, why)
+
+    def _make_ready(self, t: VThread) -> None:
+        if t.state is SLEEPING:
+            self._sleeping -= 1
+        t.state = READY
+        t.blocked_on = None
+        self.ready.append(t)
+
+    def _wake(self, t: VThread, waker: Optional[VThread], result: Any = None) -> None:
+        """Wake a BLOCKED thread; apply the profiler's credit/charge rule."""
+        if t.state is not BLOCKED:
+            raise SimulationError(f"waking non-blocked thread {t}")
+        t.woken_by = waker
+        t.send_value = result
+        if self.hook is not None:
+            pause = self.hook.on_unblock(t, waker)
+            if pause > 0:
+                t.pending_pause_ns += pause
+        t.blocked_on = None
+        t.state = READY
+        self.ready.append(t)
+
+    # ------------------------------------------------------------------ generator advance
+
+    def _advance(self, t: VThread) -> None:
+        """Pull the next op from the thread's generator and set it up."""
+        try:
+            op = t.gen.send(t.send_value)
+        except StopIteration as stop:
+            t.exit_value = stop.value
+            self._begin_exit(t)
+            return
+        except Exception:
+            # surface app bugs with thread context
+            raise
+        t.send_value = None
+        t.current_op = op
+        self._setup_op(t, op)
+
+    def _setup_op(self, t: VThread, op: O.Op) -> None:
+        """Decide pre-pause, CPU cost, and completion action for ``op``."""
+        if not isinstance(op, O.Op):
+            raise SimulationError(
+                f"thread {t.name} yielded {op!r}, which is not a simulator op"
+            )
+        hook = self.hook
+        if (
+            self.cfg.flush_samples_on_block
+            and (op.blocking or op.waking)
+            and t.sample_buffer
+            and (self.sampling_enabled or self._observer_sampling)
+        ):
+            self._deliver_batch(t, self.sampler.drain(t))
+        pre = 0
+        if hook is not None:
+            if op.blocking:
+                pre += hook.before_block(t)
+            if op.waking:
+                pre += hook.before_wake_op(t)
+        if pre > 0:
+            t.pending_pause_ns += pre
+            # after the pause, run the op body (cost + action)
+            t.continuation = lambda: self._setup_op_body(t, op)
+            return
+        self._setup_op_body(t, op)
+
+    def _setup_op_body(self, t: VThread, op: O.Op) -> None:
+        cost, line, action = self._op_plan(t, op)
+        if cost > 0:
+            t.activity_remaining = cost
+            t.activity_line = line if line is not None else RUNTIME_LINE
+            t.activity_memory_bound = False
+            t.continuation = action
+        elif action is not None:
+            action()
+
+    # The planner returns (cpu_cost, attribution_line, completion_action).
+    def _op_plan(self, t: VThread, op: O.Op):
+        cfg = self.cfg
+        if isinstance(op, O.Work):
+            if op.line in self._line_watchers and self.hook is not None:
+                self.hook.on_line_visit(t, op.line)
+            t.activity_line = op.line
+            t.activity_memory_bound = op.memory_bound
+            t.activity_remaining = op.duration
+            return 0, None, None  # activity fields already set
+        if isinstance(op, O.Lock):
+            return cfg.lock_cost_ns, op.line, lambda: self._do_lock(t, op.mutex)
+        if isinstance(op, O.TryLock):
+            return cfg.lock_cost_ns, op.line, lambda: self._do_trylock(t, op.mutex)
+        if isinstance(op, O.Unlock):
+            return cfg.lock_cost_ns, op.line, lambda: self._do_unlock(t, op.mutex)
+        if isinstance(op, O.CondWait):
+            return cfg.sync_cost_ns, op.line, lambda: self._do_cond_wait(t, op.cond, op.mutex)
+        if isinstance(op, O.Signal):
+            return cfg.sync_cost_ns, op.line, lambda: self._do_signal(t, op.cond)
+        if isinstance(op, O.Broadcast):
+            return cfg.sync_cost_ns, op.line, lambda: self._do_broadcast(t, op.cond)
+        if isinstance(op, O.BarrierWait):
+            return cfg.sync_cost_ns, op.line, lambda: self._do_barrier_wait(t, op.barrier)
+        if isinstance(op, O.SemWait):
+            return cfg.sync_cost_ns, op.line, lambda: self._do_sem_wait(t, op.sem)
+        if isinstance(op, O.SemPost):
+            return cfg.sync_cost_ns, op.line, lambda: self._do_sem_post(t, op.sem)
+        if isinstance(op, O.Join):
+            return 0, None, lambda: self._do_join(t, op.thread)
+        if isinstance(op, O.Sleep):
+            return 0, None, lambda: self._do_sleep(t, op.duration, "sleep")
+        if isinstance(op, O.IO):
+            return 0, None, lambda: self._do_sleep(t, op.duration, "io")
+        if isinstance(op, O.Spawn):
+            return cfg.spawn_cost_ns, None, lambda: self._do_spawn(t, op)
+        if isinstance(op, O.Progress):
+            return 0, None, lambda: self._do_progress(t, op.name)
+        if isinstance(op, O.PushFrame):
+            return 0, None, lambda: self._do_push_frame(t, op)
+        if isinstance(op, O.PopFrame):
+            return 0, None, lambda: self._do_pop_frame(t)
+        if isinstance(op, O.SetSpinning):
+            return 0, None, lambda: self._set_spinning(t, op.spinning)
+        raise SimulationError(f"thread {t.name} yielded unknown op {op!r}")
+
+    # ------------------------------------------------------------------ op actions
+
+    def _do_lock(self, t: VThread, m: Mutex) -> None:
+        if m.owner is None:
+            m.owner = t
+            m.acquires += 1
+        else:
+            m.waiters.append(t)
+            m.contended_acquires += 1
+            self._block(t, f"mutex:{m.name}")
+
+    def _do_trylock(self, t: VThread, m: Mutex) -> None:
+        if m.owner is None:
+            m.owner = t
+            m.acquires += 1
+            t.send_value = True
+        else:
+            t.send_value = False
+
+    def _do_unlock(self, t: VThread, m: Mutex) -> None:
+        if m.owner is not t:
+            raise SyncError(
+                f"{t.name} unlocking mutex {m.name} owned by "
+                f"{getattr(m.owner, 'name', None)}"
+            )
+        if m.waiters:
+            w = m.waiters.popleft()
+            m.owner = w
+            m.acquires += 1
+            self._wake(w, waker=t)
+        else:
+            m.owner = None
+
+    def _do_cond_wait(self, t: VThread, c: CondVar, m: Mutex) -> None:
+        if m.owner is not t:
+            raise SyncError(f"{t.name} waiting on {c.name} without holding {m.name}")
+        # release the mutex (may wake a lock waiter)
+        self._do_unlock(t, m)
+        c.waiters.append((t, m))
+        self._block(t, f"cond:{c.name}")
+
+    def _transfer_cond_waiter(self, waker: VThread, w: VThread, m: Mutex) -> None:
+        """A signalled waiter must re-acquire its mutex before resuming."""
+        if m.owner is None:
+            m.owner = w
+            m.acquires += 1
+            self._wake(w, waker=waker)
+        else:
+            m.waiters.append(w)
+            m.contended_acquires += 1
+            w.blocked_on = f"mutex:{m.name}"
+
+    def _do_signal(self, t: VThread, c: CondVar) -> None:
+        c.signals += 1
+        if c.waiters:
+            w, m = c.waiters.popleft()
+            self._transfer_cond_waiter(t, w, m)
+
+    def _do_broadcast(self, t: VThread, c: CondVar) -> None:
+        c.broadcasts += 1
+        while c.waiters:
+            w, m = c.waiters.popleft()
+            self._transfer_cond_waiter(t, w, m)
+
+    def _do_barrier_wait(self, t: VThread, b: Barrier) -> None:
+        b.arrived.append(t)
+        if len(b.arrived) == b.n:
+            b.cycles += 1
+            for w in b.arrived[:-1]:
+                self._wake(w, waker=t, result=False)
+            b.arrived.clear()
+            t.send_value = True  # serial thread
+        else:
+            self._block(t, f"barrier:{b.name}")
+
+    def _do_sem_wait(self, t: VThread, s: Semaphore) -> None:
+        if s.value > 0:
+            s.value -= 1
+        else:
+            s.waiters.append(t)
+            self._block(t, f"sem:{s.name}")
+
+    def _do_sem_post(self, t: VThread, s: Semaphore) -> None:
+        if s.waiters:
+            w = s.waiters.popleft()
+            self._wake(w, waker=t)
+        else:
+            s.value += 1
+
+    def _do_join(self, t: VThread, target: VThread) -> None:
+        if target.finished:
+            t.send_value = target.exit_value
+        else:
+            target.joiners.append(t)
+            self._block(t, f"join:{target.name}")
+
+    def _do_sleep(self, t: VThread, duration: int, kind: str) -> None:
+        self._go_offcpu(t, SLEEPING, kind)
+        t.chunk_token += 1
+        token = t.chunk_token
+
+        def wake() -> None:
+            if t.chunk_token != token or t.state is not SLEEPING:
+                return
+            self._sleeping -= 1
+            t.state = BLOCKED  # transit state so _wake() is legal
+            t.woken_by = None
+            self._wake(t, waker=None)
+
+        self._push(self.now + duration, wake)
+
+    def _do_spawn(self, t: VThread, op: O.Spawn) -> None:
+        child = self.spawn(op.body, name=op.name, parent=t)
+        t.send_value = child
+
+    def _do_progress(self, t: VThread, name: str) -> None:
+        self.progress_counts[name] += 1
+        if self.hook is not None:
+            self.hook.on_progress(t, name)
+        for obs in self.observers:
+            obs.on_progress(t, name)
+
+    def _do_push_frame(self, t: VThread, op: O.PushFrame) -> None:
+        caller = t.current_func()
+        t.stack.append(Frame(op.func, op.callsite))
+        for obs in self.observers:
+            obs.on_call(t, op.func, caller)
+        if self._call_overhead_ns:
+            t.pending_cpu_ns += self._call_overhead_ns
+
+    def _do_pop_frame(self, t: VThread) -> None:
+        if not t.stack:
+            raise SimulationError(f"{t.name}: PopFrame with empty stack")
+        t.stack.pop()
+
+    # ------------------------------------------------------------------ exit
+
+    def _begin_exit(self, t: VThread) -> None:
+        """Thread generator exhausted; thread exit is a waking op (Table 1)."""
+        if self.hook is not None:
+            pre = self.hook.before_wake_op(t)
+            if pre > 0:
+                t.pending_pause_ns += pre
+                t.continuation = lambda: self._finish_exit(t)
+                return
+        self._finish_exit(t)
+
+    def _finish_exit(self, t: VThread) -> None:
+        if t.spinning:
+            self._set_spinning(t, False)
+        if t.sample_buffer:
+            self._deliver_batch(t, self.sampler.drain(t))
+        self.running.discard(t)
+        t.state = FINISHED
+        self._alive -= 1
+        for w in t.joiners:
+            self._wake(w, waker=t, result=t.exit_value)
+        t.joiners.clear()
+        if self.hook is not None:
+            self.hook.on_thread_exit(t)
+        for obs in self.observers:
+            obs.on_thread_exit(t)

@@ -1,0 +1,24 @@
+"""Exception hierarchy for the execution simulator."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class SyncError(SimulationError):
+    """Misuse of a synchronization primitive.
+
+    Raised for, e.g., unlocking a mutex the thread does not own or waiting on
+    a condition variable without holding its mutex.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The simulation cannot make progress.
+
+    Raised when no thread is runnable, no timer is pending, and at least one
+    thread is still blocked.  The message lists the blocked threads and what
+    each is waiting on, which makes test failures self-diagnosing.
+    """

@@ -1,0 +1,131 @@
+"""Profiler hook and observer interfaces.
+
+The engine exposes two integration surfaces:
+
+* :class:`ProfilerHook` — the single *active* profiler (Coz).  It may inject
+  behaviour: pauses before/after scheduling edges and extra CPU cost for
+  sample processing.  This is the moral equivalent of Coz's LD_PRELOAD
+  runtime: it sees every sample batch, every blocking/waking call, thread
+  creation/exit, and progress-point visits.
+
+* :class:`Observer` — passive listeners (gprof/perf baselines, metrics
+  collectors).  They receive events but cannot perturb execution, except for
+  a fixed per-call instrumentation cost the engine charges on their behalf
+  (``call_overhead_ns``), which is how the gprof baseline models its probe
+  effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.sampler import Sample
+    from repro.sim.source import SourceLine
+    from repro.sim.thread import VThread
+
+
+@dataclass
+class HookAction:
+    """What a profiler asks the engine to do after a sample batch.
+
+    ``pause_ns``  — take the thread off-CPU for this long (delay insertion).
+    ``cpu_ns``    — charge this much on-CPU time (sample-processing cost;
+                    this is profiler-induced *overhead*, visible in wall
+                    time but attributed to the runtime pseudo-line).
+    """
+
+    pause_ns: int = 0
+    cpu_ns: int = 0
+
+
+NO_ACTION = HookAction()
+
+
+class ProfilerHook:
+    """Base class for the active profiler. Every method is optional."""
+
+    def attach(self, engine) -> None:
+        """Called when installed on an engine, before the run starts."""
+
+    def on_run_start(self, engine) -> None:
+        """Called at virtual time zero, before the main thread runs."""
+
+    def on_run_end(self, engine) -> None:
+        """Called when the simulation finishes."""
+
+    def on_thread_created(self, thread: "VThread", parent: Optional["VThread"]) -> None:
+        """A thread was spawned (parent is None for the main thread)."""
+
+    def on_thread_exit(self, thread: "VThread") -> None:
+        """A thread's generator finished (after its pre-exit delays ran)."""
+
+    def on_samples(self, thread: "VThread", samples: List["Sample"]) -> HookAction:
+        """A batch of IP samples from ``thread`` is ready for processing.
+
+        Called in the context of the sampled thread at a chunk boundary,
+        exactly like Coz processing its perf_event ring buffer.  The returned
+        action is applied to the thread before it continues.
+        """
+        return NO_ACTION
+
+    def before_block(self, thread: "VThread") -> int:
+        """Thread is about to execute a potentially blocking call (Table 2).
+
+        Return pause ns to insert *before* the call (pending delays).
+        """
+        return 0
+
+    def before_wake_op(self, thread: "VThread") -> int:
+        """Thread is about to execute a potentially waking call (Table 1).
+
+        Return pause ns to insert *before* the call (pending delays).
+        """
+        return 0
+
+    def on_unblock(self, thread: "VThread", waker: Optional["VThread"]) -> int:
+        """Thread resumed from a blocking op.
+
+        ``waker`` is the thread responsible (credit its delays — return 0 and
+        skip), or ``None`` for timed wakeups (sleep/IO) where accumulated
+        delays must be paid: return the pause ns to insert now.
+        """
+        return 0
+
+    def on_progress(self, thread: "VThread", name: str) -> None:
+        """Thread visited a source-level progress point."""
+
+    def on_line_visit(self, thread: "VThread", line: "SourceLine") -> None:
+        """Thread began executing a Work op on a registered breakpoint line.
+
+        Only fired for lines previously registered via
+        ``engine.watch_line(line)`` (breakpoint progress points).
+        """
+
+
+class Observer:
+    """Base class for passive listeners. Every method is optional."""
+
+    #: CPU ns the engine charges to a thread on every PushFrame while this
+    #: observer is installed (gprof's per-call instrumentation overhead).
+    call_overhead_ns: int = 0
+
+    def on_run_start(self, engine) -> None: ...
+
+    def on_run_end(self, engine) -> None: ...
+
+    def on_thread_created(self, thread: "VThread", parent: Optional["VThread"]) -> None: ...
+
+    def on_thread_exit(self, thread: "VThread") -> None: ...
+
+    def on_sample(self, sample: "Sample") -> None:
+        """One IP sample was taken (before batch processing)."""
+
+    def on_call(self, thread: "VThread", func: str, caller: str) -> None:
+        """Thread entered ``func`` from ``caller`` (PushFrame)."""
+
+    def on_work(self, thread: "VThread", line: "SourceLine", func: str, nominal_ns: int) -> None:
+        """Exact accounting: ``nominal_ns`` of CPU ran on ``line``/``func``."""
+
+    def on_progress(self, thread: "VThread", name: str) -> None: ...

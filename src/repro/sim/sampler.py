@@ -1,0 +1,97 @@
+"""Per-thread CPU-time instruction-pointer sampling.
+
+Coz samples each thread's program counter every 1 ms of *that thread's* CPU
+time via perf_event, and processes samples in batches of ten (§3.1).  The
+simulator reproduces those semantics analytically: while a thread executes a
+work chunk, samples accrue every ``period_ns`` of nominal CPU time; they are
+buffered on the thread and flushed to the profiler hook in batches at chunk
+boundaries — the moral equivalent of draining the perf_event ring buffer.
+
+Samples only accrue while a thread is on-CPU: blocked, sleeping, and paused
+threads take no samples, exactly like the real system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.sim.source import SourceLine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.thread import VThread
+
+
+@dataclass(slots=True, frozen=True)
+class Sample:
+    """One instruction-pointer sample."""
+
+    time: int                      # virtual time when the batch point passed
+    tid: int                       # sampled thread
+    line: SourceLine               # innermost source line (the "IP")
+    callchain: Tuple[SourceLine, ...]  # innermost-first, like a perf callstack
+    func: str                      # innermost function name ('' at top level)
+
+
+class Sampler:
+    """Generates samples from CPU-time accounting.
+
+    The engine calls :meth:`account` every time a thread finishes executing a
+    chunk of on-CPU work.  Returns a batch of samples ready for processing
+    (or ``None``), which the engine forwards to the profiler hook.
+    """
+
+    def __init__(self, period_ns: int, batch_size: int) -> None:
+        if period_ns <= 0:
+            raise ValueError("sample period must be positive")
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        self.period_ns = period_ns
+        self.batch_size = batch_size
+        #: total samples generated, for overhead accounting and tests
+        self.total_samples = 0
+
+    def account(
+        self,
+        thread: "VThread",
+        nominal_ns: int,
+        now: int,
+        allow_flush: bool = True,
+        rate: float = 1.0,
+    ) -> Optional[List[Sample]]:
+        """Accrue ``nominal_ns`` of CPU time to ``thread``; maybe flush a batch.
+
+        The thread's current activity line / callchain is captured for every
+        sample that fires inside this span; sample timestamps are
+        interpolated to the instant the thread's CPU clock crossed each
+        period boundary (``rate`` = real ns per nominal ns for the chunk).
+        With ``allow_flush=False`` (used during mid-chunk rescales) samples
+        are buffered but no batch is returned, so the hook is only ever
+        invoked at real chunk boundaries.
+        """
+        accum_before = thread.sample_accum
+        thread.sample_accum += nominal_ns
+        n = thread.sample_accum // self.period_ns
+        if n:
+            thread.sample_accum -= n * self.period_ns
+            chain = thread.callchain()
+            line0 = chain[0]
+            func = thread.current_func()
+            buf = thread.sample_buffer
+            start_real = now - int(nominal_ns * rate)
+            for k in range(1, n + 1):
+                cpu_offset = k * self.period_ns - accum_before
+                when = start_real + int(cpu_offset * rate)
+                buf.append(Sample(when, thread.tid, line0, chain, func))
+            self.total_samples += n
+        if allow_flush and len(thread.sample_buffer) >= self.batch_size:
+            batch = thread.sample_buffer
+            thread.sample_buffer = []
+            return batch
+        return None
+
+    def drain(self, thread: "VThread") -> List[Sample]:
+        """Flush whatever is buffered, regardless of batch size."""
+        batch = thread.sample_buffer
+        thread.sample_buffer = []
+        return batch

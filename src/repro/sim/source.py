@@ -1,0 +1,99 @@
+"""Source locations and profiling scope.
+
+In the real Coz, DWARF debug information maps sampled instruction pointers to
+``file:line`` pairs, and the user restricts experiments to a *scope* (a set of
+source files or binaries).  In the simulator every unit of work is tagged with
+a :class:`SourceLine` directly, so this module only has to provide the line
+abstraction, a parser for ``"file.c:123"`` strings, and scope filtering with
+the same semantics as Coz §3.1 (default scope: the main executable's files).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True, order=True)
+class SourceLine:
+    """A single source line: the unit Coz selects for virtual speedup."""
+
+    file: str
+    lineno: int
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.lineno}"
+
+    def __repr__(self) -> str:  # keep test failure output compact
+        return f"SourceLine({self})"
+
+
+# The pseudo-line used for simulator-internal time (scheduler bookkeeping,
+# profiler processing cost, ...).  It is never in scope.
+RUNTIME_LINE = SourceLine("<runtime>", 0)
+
+# Pseudo-file used for "library" code (libc-style helpers in app models);
+# out of scope by default, exercising Coz's callchain-walking attribution.
+LIBC_FILE = "<libc>"
+
+
+def line(spec: str) -> SourceLine:
+    """Parse ``"file.c:123"`` into a :class:`SourceLine`.
+
+    >>> line("hashtable.c:217")
+    SourceLine(hashtable.c:217)
+    """
+    file, sep, num = spec.rpartition(":")
+    if not sep or not num.isdigit():
+        raise ValueError(f"not a file:line spec: {spec!r}")
+    return SourceLine(file, int(num))
+
+
+@dataclass
+class Scope:
+    """Which source files are eligible for virtual speedup experiments.
+
+    ``files=None`` means "the main executable" — in the simulator, every file
+    that is not a pseudo-file (``<libc>``, ``<runtime>``).  An explicit file
+    set mirrors Coz's ``--source-scope``.
+    """
+
+    files: Optional[frozenset] = None
+    exclude: frozenset = field(default_factory=frozenset)
+
+    @classmethod
+    def all_main(cls) -> "Scope":
+        """Default scope: every main-executable source file."""
+        return cls()
+
+    @classmethod
+    def only(cls, *files: str) -> "Scope":
+        """Restrict experiments to the given source files."""
+        return cls(files=frozenset(files))
+
+    @classmethod
+    def excluding(cls, *files: str) -> "Scope":
+        """Main-executable scope minus the given files."""
+        return cls(exclude=frozenset(files))
+
+    def contains(self, src: SourceLine) -> bool:
+        """Is this line eligible for selection / direct attribution?"""
+        if src.file.startswith("<"):
+            return False
+        if src.file in self.exclude:
+            return False
+        if self.files is None:
+            return True
+        return src.file in self.files
+
+    def first_in_scope(self, callchain: Iterable[SourceLine]) -> Optional[SourceLine]:
+        """Walk a callchain (innermost first) to the first in-scope line.
+
+        This is Coz §3.4.2: a sample landing in out-of-scope code (e.g. libc)
+        is attributed to the last in-scope callsite responsible for it.
+        Returns ``None`` when the entire chain is out of scope.
+        """
+        for src in callchain:
+            if self.contains(src):
+                return src
+        return None

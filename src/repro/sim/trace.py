@@ -1,0 +1,136 @@
+"""Execution tracing: a passive observer that records a run's timeline.
+
+Useful for debugging workload models and for visualizing what the profiler
+did to an execution (where pauses landed, when experiments ran).  The trace
+records thread lifecycle events, per-line CPU accounting, progress-point
+visits, and (optionally) every sample — bounded by ``max_events`` so a
+runaway trace cannot exhaust memory.
+
+Example::
+
+    tracer = TraceObserver()
+    program.run(observers=[tracer])
+    print(tracer.summary())
+    tracer.write_csv("trace.csv")
+"""
+
+from __future__ import annotations
+
+import io
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.clock import fmt_ns
+from repro.sim.hooks import Observer
+from repro.sim.sampler import Sample
+from repro.sim.source import SourceLine
+from repro.sim.thread import VThread
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timeline record."""
+
+    time: int
+    kind: str          # 'spawn' | 'exit' | 'work' | 'progress' | 'sample' | 'call'
+    thread: str
+    detail: str
+
+    def row(self) -> str:
+        return f"{fmt_ns(self.time):>12}  {self.kind:<9} {self.thread:<16} {self.detail}"
+
+
+class TraceObserver(Observer):
+    """Record a bounded execution trace plus aggregate statistics."""
+
+    wants_samples = False
+
+    def __init__(
+        self,
+        record_work: bool = True,
+        record_samples: bool = False,
+        max_events: int = 100_000,
+    ) -> None:
+        self.record_work = record_work
+        self.record_samples = record_samples
+        self.wants_samples = record_samples
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.truncated = False
+        self.line_cpu: Counter = Counter()
+        self.func_calls: Counter = Counter()
+        self.progress_counts: Counter = Counter()
+        self._engine = None
+
+    # -- event feeds --------------------------------------------------------
+
+    def on_run_start(self, engine) -> None:
+        self._engine = engine
+
+    def _emit(self, kind: str, thread: str, detail: str) -> None:
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        now = self._engine.now if self._engine is not None else 0
+        self.events.append(TraceEvent(now, kind, thread, detail))
+
+    def on_thread_created(self, thread: VThread, parent: Optional[VThread]) -> None:
+        pname = parent.name if parent is not None else "<none>"
+        self._emit("spawn", thread.name, f"parent={pname}")
+
+    def on_thread_exit(self, thread: VThread) -> None:
+        self._emit(
+            "exit",
+            thread.name,
+            f"cpu={fmt_ns(thread.cpu_ns)} paused={fmt_ns(thread.pause_ns)}",
+        )
+
+    def on_work(self, thread: VThread, line: SourceLine, func: str, nominal_ns: int) -> None:
+        self.line_cpu[line] += nominal_ns
+        if self.record_work:
+            self._emit("work", thread.name, f"{line} +{fmt_ns(nominal_ns)}")
+
+    def on_call(self, thread: VThread, func: str, caller: str) -> None:
+        self.func_calls[func] += 1
+
+    def on_progress(self, thread: VThread, name: str) -> None:
+        self.progress_counts[name] += 1
+        self._emit("progress", thread.name, name)
+
+    def on_sample(self, sample: Sample) -> None:
+        if self.record_samples:
+            self._emit("sample", f"tid-{sample.tid}", str(sample.line))
+
+    # -- reporting --------------------------------------------------------------
+
+    def summary(self, top: int = 10) -> str:
+        """Aggregate view: hottest lines, call counts, progress totals."""
+        buf = io.StringIO()
+        total = sum(self.line_cpu.values()) or 1
+        buf.write(f"trace: {len(self.events)} events"
+                  + (" (truncated)" if self.truncated else "") + "\n")
+        buf.write("hottest lines by CPU:\n")
+        for line, ns in self.line_cpu.most_common(top):
+            buf.write(f"  {str(line):<28} {fmt_ns(ns):>12} ({100 * ns / total:5.1f}%)\n")
+        if self.func_calls:
+            buf.write("calls:\n")
+            for func, n in self.func_calls.most_common(top):
+                buf.write(f"  {func:<28} {n:>8}\n")
+        if self.progress_counts:
+            buf.write("progress points:\n")
+            for name, n in sorted(self.progress_counts.items()):
+                buf.write(f"  {name:<28} {n:>8}\n")
+        return buf.getvalue()
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        buf.write("time_ns,kind,thread,detail\n")
+        for e in self.events:
+            detail = e.detail.replace(",", ";")
+            buf.write(f"{e.time},{e.kind},{e.thread},{detail}\n")
+        return buf.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_csv())

@@ -1,0 +1,20 @@
+"""Statistics used by the evaluation harness.
+
+Implemented from scratch (and cross-checked against scipy in the test
+suite): Efron's bootstrap for standard errors and confidence intervals
+(Table 3's ``± SE`` columns), the one-tailed Mann-Whitney U test (Table 3's
+significance claim), and ordinary least squares with slope standard error
+(Coz's profile ranking metric).
+"""
+
+from repro.stats.bootstrap import bootstrap_ci, bootstrap_se, speedup_stats
+from repro.stats.mannwhitney import mann_whitney_u
+from repro.stats.regression import linear_regression
+
+__all__ = [
+    "bootstrap_ci",
+    "bootstrap_se",
+    "speedup_stats",
+    "mann_whitney_u",
+    "linear_regression",
+]

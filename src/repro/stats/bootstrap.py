@@ -1,0 +1,125 @@
+"""Efron's bootstrap.
+
+The paper (Table 3) reports speedups as ``(t0 - t_opt) / t0`` with standard
+error computed by Efron's bootstrap over ten runs of each configuration.
+This module reproduces that computation deterministically (seeded resampling).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from statistics import mean
+from typing import Callable, Optional, Sequence, Tuple
+
+
+def _resample(rng: random.Random, data: Sequence[float]) -> list:
+    n = len(data)
+    return [data[rng.randrange(n)] for _ in range(n)]
+
+
+def bootstrap_se(
+    data: Sequence[float],
+    statistic: Callable[[Sequence[float]], float] = mean,
+    n_boot: int = 1000,
+    seed: int = 0,
+) -> float:
+    """Bootstrap standard error of ``statistic`` over ``data``."""
+    if len(data) < 2:
+        return 0.0
+    rng = random.Random(seed)
+    stats = [statistic(_resample(rng, data)) for _ in range(n_boot)]
+    m = mean(stats)
+    var = sum((s - m) ** 2 for s in stats) / (len(stats) - 1)
+    return var ** 0.5
+
+
+def bootstrap_ci(
+    data: Sequence[float],
+    statistic: Callable[[Sequence[float]], float] = mean,
+    n_boot: int = 1000,
+    alpha: float = 0.05,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for ``statistic``."""
+    if not data:
+        raise ValueError("empty data")
+    if len(data) == 1:
+        return (data[0], data[0])
+    rng = random.Random(seed)
+    stats = sorted(statistic(_resample(rng, data)) for _ in range(n_boot))
+    lo_idx = int((alpha / 2) * n_boot)
+    hi_idx = min(n_boot - 1, int((1 - alpha / 2) * n_boot))
+    return stats[lo_idx], stats[hi_idx]
+
+
+@dataclass
+class SpeedupStats:
+    """Speedup of an optimized configuration over a baseline (Table 3 row)."""
+
+    speedup: float        # (t0 - t_opt) / t0, as a fraction
+    se: float             # bootstrap standard error of the speedup
+    p_value: float        # one-tailed Mann-Whitney U: t_opt < t0
+    baseline_mean: float
+    optimized_mean: float
+    n_baseline: int
+    n_optimized: int
+
+    @property
+    def speedup_pct(self) -> float:
+        return 100.0 * self.speedup
+
+    @property
+    def se_pct(self) -> float:
+        return 100.0 * self.se
+
+    def significant(self, alpha: float = 0.001) -> bool:
+        """Is the speedup significant at the paper's 99.9% level?"""
+        return self.p_value < alpha
+
+    def __str__(self) -> str:
+        return f"{self.speedup_pct:+.2f}% ± {self.se_pct:.2f}% (p={self.p_value:.2g})"
+
+
+def speedup_stats(
+    baseline: Sequence[float],
+    optimized: Sequence[float],
+    n_boot: int = 1000,
+    seed: int = 0,
+) -> SpeedupStats:
+    """Table 3's statistics: bootstrap SE of the speedup + MWU significance.
+
+    ``baseline`` and ``optimized`` are execution times (any unit).  Speedup
+    is ``(t0 - t_opt) / t0`` computed on means; the bootstrap resamples both
+    groups independently, exactly as in the paper's methodology.
+    """
+    from repro.stats.mannwhitney import mann_whitney_u
+
+    if not baseline or not optimized:
+        raise ValueError("need at least one run per configuration")
+    t0 = mean(baseline)
+    topt = mean(optimized)
+    point = (t0 - topt) / t0
+
+    rng = random.Random(seed)
+    boots = []
+    for _ in range(n_boot):
+        b = mean(_resample(rng, baseline))
+        o = mean(_resample(rng, optimized))
+        boots.append((b - o) / b)
+    if len(baseline) > 1 or len(optimized) > 1:
+        m = mean(boots)
+        se = (sum((s - m) ** 2 for s in boots) / (len(boots) - 1)) ** 0.5
+    else:
+        se = 0.0
+
+    p = mann_whitney_u(optimized, baseline, alternative="less").p_value
+    return SpeedupStats(
+        speedup=point,
+        se=se,
+        p_value=p,
+        baseline_mean=t0,
+        optimized_mean=topt,
+        n_baseline=len(baseline),
+        n_optimized=len(optimized),
+    )

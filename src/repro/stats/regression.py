@@ -1,0 +1,54 @@
+"""Ordinary least squares, used for Coz's profile ranking.
+
+Coz sorts causal-profile graphs by the slope of their linear regression
+(§2, "Interpreting a causal profile"): steep positive slopes are promising
+optimization targets, steep negative slopes indicate contention.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass
+class Regression:
+    """OLS fit of y = intercept + slope * x."""
+
+    slope: float
+    intercept: float
+    slope_se: float     # standard error of the slope
+    r2: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        return self.intercept + self.slope * x
+
+
+def linear_regression(xs: Sequence[float], ys: Sequence[float]) -> Regression:
+    """Fit OLS; requires at least two distinct x values."""
+    if len(xs) != len(ys):
+        raise ValueError("x and y must have equal length")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points")
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("all x values identical")
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = my - slope * mx
+
+    ss_res = sum((y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - my) ** 2 for y in ys)
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+    if n > 2 and sxx > 0:
+        sigma_sq = ss_res / (n - 2)
+        slope_se = math.sqrt(sigma_sq / sxx)
+    else:
+        slope_se = 0.0
+    return Regression(slope=slope, intercept=intercept, slope_se=slope_se, r2=r2, n=n)

@@ -1,0 +1,94 @@
+"""dedup's hash table and the Figure 4 statistics."""
+
+import pytest
+
+from repro.apps.hashtable import (
+    HASH_VARIANTS,
+    HashTable,
+    figure4_stats,
+    hash_noshift,
+    hash_original,
+    hash_xor,
+    make_keys,
+)
+
+
+def test_insert_and_search():
+    t = HashTable(buckets=16, hash_fn=hash_xor)
+    t.insert(b"a" * 20, "va")
+    t.insert(b"b" * 20, "vb")
+    assert t.search(b"a" * 20)[0] == "va"
+    assert t.search(b"c" * 20)[0] is None
+    assert t.size == 2
+
+
+def test_insert_updates_existing_key():
+    t = HashTable(buckets=16)
+    t.insert(b"k" * 20, 1)
+    t.insert(b"k" * 20, 2)
+    assert t.size == 1
+    assert t.search(b"k" * 20)[0] == 2
+
+
+def test_search_reports_chain_links():
+    """The chain-walk count is what dedup turns into hashtable.c:217 time."""
+    t = HashTable(buckets=1)  # everything collides
+    keys = [bytes([i]) * 20 for i in range(10)]
+    for k in keys:
+        t.insert(k)
+    _, links = t.search(keys[9])
+    assert links == 10
+    _, links_miss = t.search(b"z" * 20)
+    assert links_miss == 10
+
+
+def test_make_keys_distinct_and_deterministic():
+    a = make_keys(100, seed=1)
+    b = make_keys(100, seed=1)
+    assert a == b
+    assert len(set(a)) == 100
+    assert all(len(k) == 20 for k in a)
+    assert make_keys(100, seed=2) != a
+
+
+def test_original_hash_collapses_range():
+    keys = make_keys(1000, seed=0)
+    values = {hash_original(k) for k in keys}
+    assert len(values) < 120  # narrow band: the paper's pathology
+
+
+def test_xor_hash_spreads():
+    keys = make_keys(1000, seed=0)
+    values = {hash_xor(k) % 4096 for k in keys}
+    assert len(values) > 700
+
+
+def test_figure4_ordering_matches_paper():
+    """Utilization: original << noshift << xor; chains reversed (Figure 4)."""
+    stats = {s.variant: s for s in figure4_stats(n_keys=7000, buckets=4096)}
+    assert stats["original"].utilization < 0.05          # paper: 2.3%
+    assert 0.25 < stats["noshift"].utilization < 0.65    # paper: 54.4%
+    assert 0.70 < stats["xor"].utilization < 0.90        # paper: 82.0%
+    assert stats["original"].mean_chain > 60             # paper: 76.7
+    assert stats["xor"].mean_chain == pytest.approx(2.09, abs=0.15)  # paper: 2.09
+    assert (
+        stats["original"].mean_chain
+        > stats["noshift"].mean_chain
+        > stats["xor"].mean_chain
+    )
+
+
+def test_histogram_sums_to_used_buckets():
+    t = HashTable(buckets=64, hash_fn=hash_xor)
+    for k in make_keys(100, seed=3):
+        t.insert(k)
+    hist = t.chain_histogram()
+    used = sum(hist.values())
+    assert used == sum(1 for b in t.buckets if b)
+    assert sum(length * count for length, count in hist.items()) == 100
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HashTable(buckets=0)
+    assert set(HASH_VARIANTS) == {"original", "noshift", "xor"}

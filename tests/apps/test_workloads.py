@@ -1,0 +1,189 @@
+"""Behavioral tests for the evaluation workloads (scaled-down runs).
+
+Each app must (a) run to completion deterministically, (b) show its paper
+speedup when the optimization is applied (wide tolerance at test scale), and
+(c) expose the structural bottleneck its case study relies on.
+"""
+
+import pytest
+
+from repro.apps.blackscholes import build_blackscholes
+from repro.apps.dedup import build_dedup
+from repro.apps.ferret import (
+    DEFAULT_THREADS,
+    OPTIMIZED_THREADS,
+    build_ferret,
+    expected_throughput_period,
+)
+from repro.apps.fluidanimate import build_fluidanimate
+from repro.apps.memcached import build_memcached
+from repro.apps.parsec_misc import TABLE4, build_parsec_app
+from repro.apps.sqlite import build_sqlite
+from repro.apps.streamcluster import build_streamcluster
+from repro.apps.swaptions import build_swaptions, expected_speedup
+
+
+def speedup(base_spec, opt_spec, seed=0):
+    a = base_spec.build(seed).run()
+    b = opt_spec.build(seed).run()
+    return (a.runtime_ns - b.runtime_ns) / a.runtime_ns, a, b
+
+
+# ---------------------------------------------------------------- dedup
+
+def test_dedup_processes_all_blocks():
+    r = build_dedup("original", n_blocks=300).build(0).run()
+    assert r.progress("block-compressed") == 300
+
+
+def test_dedup_hash_fix_speedup():
+    """Paper: 8.95% ± 0.27%."""
+    s, _, _ = speedup(
+        build_dedup("original", n_blocks=1500), build_dedup("xor", n_blocks=1500)
+    )
+    assert s == pytest.approx(0.09, abs=0.03)
+
+
+def test_dedup_noshift_is_intermediate():
+    a = build_dedup("original", n_blocks=500).build(0).run().runtime_ns
+    m = build_dedup("noshift", n_blocks=500).build(0).run().runtime_ns
+    o = build_dedup("xor", n_blocks=500).build(0).run().runtime_ns
+    assert a > m > o
+
+
+def test_dedup_rejects_bad_variant():
+    with pytest.raises(ValueError):
+        build_dedup("sha256")
+
+
+# ---------------------------------------------------------------- ferret
+
+def test_ferret_pipeline_completes():
+    r = build_ferret(n_queries=200).build(0).run()
+    assert r.progress("query-done") == 200
+
+
+def test_ferret_thread_shift_speedup():
+    """Paper: 21.27% ± 0.17%."""
+    s, a, b = speedup(
+        build_ferret(DEFAULT_THREADS, n_queries=600),
+        build_ferret(OPTIMIZED_THREADS, n_queries=600),
+    )
+    assert s == pytest.approx(0.21, abs=0.05)
+
+
+def test_ferret_analytic_period_model():
+    assert expected_throughput_period(DEFAULT_THREADS) > expected_throughput_period(
+        OPTIMIZED_THREADS
+    )
+
+
+def test_ferret_validates_thread_allocation():
+    with pytest.raises(ValueError):
+        build_ferret((1, 2, 3))
+    with pytest.raises(ValueError):
+        build_ferret((0, 1, 1, 1))
+
+
+# ---------------------------------------------------------------- sqlite
+
+def test_sqlite_indirect_call_fix_speedup():
+    """Paper: 25.6% ± 1.0%."""
+    s, a, b = speedup(
+        build_sqlite(False, inserts_per_thread=500),
+        build_sqlite(True, inserts_per_thread=500),
+    )
+    assert s == pytest.approx(0.25, abs=0.05)
+    assert a.progress("row-inserted") == 500 * 10
+
+
+def test_sqlite_pcache_mutex_is_contended():
+    r = build_sqlite(False, inserts_per_thread=300).build(0).run()
+    # the shared page-cache mutex serializes the "independent" threads
+    eng = r.engine
+    # find it via thread bookkeeping: runtime far exceeds cpu/cores ratio
+    assert r.runtime_ns * (eng.cfg.cores - 1) > r.cpu_ns
+
+
+# ---------------------------------------------------------------- memcached
+
+def test_memcached_lock_removal_speedup():
+    """Paper: 9.39% ± 0.95%."""
+    s, a, _ = speedup(
+        build_memcached(False, n_requests=6000),
+        build_memcached(True, n_requests=6000),
+    )
+    assert s == pytest.approx(0.094, abs=0.04)
+    assert a.progress("command-done") == 6000
+
+
+# ------------------------------------------------- fluidanimate/streamcluster
+
+def test_fluidanimate_barrier_replacement_speedup():
+    """Paper: 37.5% ± 0.56%."""
+    s, a, _ = speedup(
+        build_fluidanimate(False, n_phases=100),
+        build_fluidanimate(True, n_phases=100),
+    )
+    assert s == pytest.approx(0.375, abs=0.07)
+    assert a.progress("phase-done") == 100
+
+
+def test_streamcluster_barrier_replacement_speedup():
+    """Paper: 68.4% ± 1.12%."""
+    s, _, _ = speedup(
+        build_streamcluster(False, n_phases=100),
+        build_streamcluster(True, n_phases=100),
+    )
+    assert s == pytest.approx(0.684, abs=0.08)
+
+
+def test_streamcluster_rng_alone_is_minor():
+    """The RNG replacement alone is worth ~2% (paper §4.2.5)."""
+    base = build_streamcluster(False, n_phases=100).build(0).run().runtime_ns
+    rng_only = (
+        build_streamcluster(False, light_rng=True, n_phases=100)
+        .build(0)
+        .run()
+        .runtime_ns
+    )
+    s = (base - rng_only) / base
+    # at test scale the effect is tiny and noisy; it must stay minor either
+    # way (the barrier, not the RNG, is the dominant problem)
+    assert -0.05 < s < 0.08
+
+
+# ---------------------------------------------- blackscholes / swaptions
+
+def test_blackscholes_cse_speedup():
+    """Paper: 2.56% ± 0.41%."""
+    s, _, _ = speedup(
+        build_blackscholes(False, n_rounds=80), build_blackscholes(True, n_rounds=80)
+    )
+    assert s == pytest.approx(0.0256, abs=0.01)
+
+
+def test_swaptions_loop_fix_speedup():
+    """Paper: 15.8% ± 1.10%."""
+    s, _, _ = speedup(
+        build_swaptions(False, n_iters=100), build_swaptions(True, n_iters=100)
+    )
+    assert s == pytest.approx(expected_speedup(), abs=0.02)
+    assert s == pytest.approx(0.158, abs=0.03)
+
+
+# ---------------------------------------------------------------- Table 4
+
+@pytest.mark.parametrize("entry", TABLE4, ids=lambda e: e.name)
+def test_table4_apps_run_and_count_progress(entry):
+    spec = build_parsec_app(entry.name, n_items=120)
+    r = spec.build(0).run()
+    assert r.runtime_ns > 0
+    # breakpoint progress points only count under a profiler; raw runs just
+    # verify the structure (engine.progress_counts is for source points)
+    assert spec.line("top") == entry.top_line
+
+
+def test_parsec_unknown_name_rejected():
+    with pytest.raises(ValueError):
+        build_parsec_app("nginx")

@@ -1,0 +1,68 @@
+"""gprof baseline: flat profile, call graph, probe effect (Figure 2a)."""
+
+import pytest
+
+from repro.apps.example import build_example
+from repro.baselines.gprof import GprofObserver
+from repro.sim import MS, US, Join, Program, Spawn, Work, call, line
+
+L = line("g.c:1")
+
+
+def test_example_flat_profile_matches_figure_2a():
+    """Figure 2a: gprof reports a ~51%, b ~49% — the misleading answer."""
+    g = GprofObserver()
+    build_example(rounds=30).build(0).run(observers=[g])
+    p = g.profile()
+    assert p.pct_time("a") == pytest.approx(51.1, abs=1.0)
+    assert p.pct_time("b") == pytest.approx(48.9, abs=1.0)
+    flat = p.flat()
+    assert flat[0].func == "a"
+    assert flat[0].calls == 30
+
+
+def test_call_graph_edges():
+    g = GprofObserver()
+
+    def main(t):
+        def inner():
+            yield Work(L, US(10))
+
+        def outer():
+            yield from call("inner", inner())
+
+        for _ in range(4):
+            yield from call("outer", outer())
+
+    Program(main).run(observers=[g])
+    p = g.profile()
+    assert p.calls["outer"] == 4
+    assert p.calls["inner"] == 4
+    assert p.callers("inner") == {"outer": 4}
+    assert p.callers("outer") == {"<spontaneous>": 4}
+
+
+def test_instrumentation_overhead_slows_program():
+    """gprof's mcount probe effect: instrumented runs are slower (§4.4)."""
+
+    def build():
+        def main(t):
+            def fn():
+                yield Work(L, US(5))
+
+            for _ in range(2000):
+                yield from call("fn", fn())
+
+        return Program(main)
+
+    base = build().run().runtime_ns
+    instrumented = build().run(observers=[GprofObserver(call_overhead_ns=300)]).runtime_ns
+    assert instrumented >= base + 2000 * 300
+
+
+def test_render_output():
+    g = GprofObserver()
+    build_example(rounds=5).build(0).run(observers=[g])
+    out = g.profile().render()
+    assert "Flat profile" in out
+    assert "a" in out and "b" in out

@@ -1,0 +1,67 @@
+"""Profile interpretation: prediction, summaries, top line."""
+
+import pytest
+
+from repro.core.analysis import Opportunity, predict_program_speedup, summarize, top_line
+from repro.core.profile_data import CausalProfile, LineProfile, ProfilePoint
+from repro.sim.source import line
+
+L = line("a.c:1")
+L2 = line("a.c:2")
+
+
+def make_profile(points, src=L):
+    pts = [
+        ProfilePoint(speedup_pct=p, program_speedup=s, se=0.0, n_experiments=3, visits=30)
+        for p, s in points
+    ]
+    return LineProfile(line=src, progress_point="p", points=pts,
+                       phase_factor=1.0, total_samples=100)
+
+
+def test_predict_interpolates():
+    lp = make_profile([(0, 0.0), (50, 0.10), (100, 0.20)])
+    assert predict_program_speedup(lp, 25) == pytest.approx(0.05)
+    assert predict_program_speedup(lp, 50) == pytest.approx(0.10)
+    assert predict_program_speedup(lp, 75) == pytest.approx(0.15)
+
+
+def test_predict_clamps_to_measured_range():
+    lp = make_profile([(0, 0.0), (50, 0.10)])
+    assert predict_program_speedup(lp, 90) == pytest.approx(0.10)
+    assert predict_program_speedup(lp, -5) == pytest.approx(0.0)
+
+
+def test_predict_exact_point_lookup():
+    lp = make_profile([(0, 0.0), (30, 0.07), (60, 0.09)])
+    assert predict_program_speedup(lp, 30) == pytest.approx(0.07)
+
+
+def test_summarize_ranks_and_classifies():
+    strong = make_profile([(0, 0.0), (50, 0.2), (100, 0.4)], src=L)
+    contended = make_profile([(0, 0.0), (50, -0.1), (100, -0.25)], src=L2)
+    profile = CausalProfile("p", [contended, strong])
+    opps = summarize(profile)
+    assert [o.line for o in opps] == [L, L2]
+    assert opps[0].kind == "optimize"
+    assert opps[1].kind == "contention"
+    assert opps[0].rank == 1
+
+
+def test_summarize_top_n():
+    lps = [make_profile([(0, 0.0), (100, 0.01 * i)], src=line(f"a.c:{i}")) for i in range(1, 6)]
+    profile = CausalProfile("p", lps)
+    assert len(summarize(profile, top=2)) == 2
+
+
+def test_top_line():
+    strong = make_profile([(0, 0.0), (100, 0.4)], src=L)
+    weak = make_profile([(0, 0.0), (100, 0.05)], src=L2)
+    assert top_line(CausalProfile("p", [weak, strong])) == L
+    assert top_line(CausalProfile("p", [])) is None
+
+
+def test_no_impact_classification():
+    flat = make_profile([(0, 0.0), (50, 0.002), (100, -0.003)])
+    opp = summarize(CausalProfile("p", [flat]))[0]
+    assert opp.kind == "no-impact"

@@ -1,0 +1,160 @@
+"""Tables 1 & 2: delay handling around blocking and waking operations.
+
+These tests run real programs under a CausalProfiler with a *forced*
+experiment (fixed line, fixed speedup) and check the credit/charge rules:
+
+* a thread executes pending delays before potentially blocking calls;
+* a thread executes pending delays before potentially waking calls;
+* a thread woken by a peer skips its accumulated delays (credited);
+* a thread woken by a timer (sleep/IO) pays its accumulated delays.
+"""
+
+from repro.core.config import CozConfig
+from repro.core.profiler import CausalProfiler
+from repro.core.progress import ProgressPoint
+from repro.sim import (
+    IO,
+    MS,
+    US,
+    Join,
+    Lock,
+    Program,
+    Progress,
+    Scope,
+    SimConfig,
+    Spawn,
+    Unlock,
+    Work,
+    line,
+)
+from repro.sim.sync import Mutex
+
+HOT = line("hot.c:1")
+OTHER = line("other.c:1")
+
+
+def _profiler(pct=50, duration=MS(10)):
+    cfg = CozConfig(
+        scope=Scope.all_main(),
+        fixed_line=HOT,
+        speedup_schedule=[pct],
+        experiment_duration_ns=duration,
+        cooloff_ns=MS(1),
+    )
+    return CausalProfiler(cfg, [ProgressPoint("tick")])
+
+
+def _config(seed=0):
+    return SimConfig(seed=seed, cores=4, sample_period_ns=US(100), quantum_ns=US(500))
+
+
+def test_delays_inserted_into_other_threads():
+    """The basic experiment: a hot thread's samples pause the other thread."""
+
+    def main(t):
+        def hot_thread(t2):
+            yield Work(HOT, MS(30))
+
+        def other_thread(t2):
+            for _ in range(300):
+                yield Work(OTHER, US(100))
+                yield Progress("tick")
+
+        a = yield Spawn(hot_thread)
+        b = yield Spawn(other_thread)
+        yield Join(a)
+        yield Join(b)
+
+    prof = _profiler()
+    r = Program(main, config=_config()).run(hook=prof)
+    assert r.delay_ns > 0  # delays were inserted somewhere
+    assert prof.data.experiments, "experiment should have completed"
+
+
+def test_io_wake_pays_accumulated_delays():
+    """Timed wakeups (IO) pay delays accumulated while suspended."""
+    pauses = {}
+
+    def main(t):
+        def hot_thread(t2):
+            yield Work(HOT, MS(30))
+
+        def sleeper(t2):
+            yield Work(OTHER, MS(2))  # get sampled/registered
+            yield IO(MS(20))          # delays accumulate during this
+            yield Work(OTHER, US(100))
+            pauses["sleeper"] = t2.pause_ns
+
+        a = yield Spawn(hot_thread)
+        b = yield Spawn(sleeper)
+        yield Join(a)
+        yield Join(b)
+        yield Progress("tick")
+
+    prof = _profiler(pct=100)
+    Program(main, config=_config()).run(hook=prof)
+    assert pauses["sleeper"] > 0
+
+
+def test_peer_wake_credits_delays():
+    """A thread woken by another thread's unlock skips its delays."""
+    pauses = {}
+
+    def main(t):
+        m = Mutex()
+
+        def hot_holder(t2):
+            yield Lock(m)
+            yield Work(HOT, MS(20))  # hot line runs while blocked waiter waits
+            yield Unlock(m)
+            yield Work(HOT, MS(5))
+
+        def waiter(t2):
+            yield Work(OTHER, US(200))
+            yield Lock(m)  # blocks for ~20ms while delays accumulate
+            yield Unlock(m)
+            pauses["at_wake"] = t2.pause_ns
+            yield Work(OTHER, US(100))
+
+        a = yield Spawn(hot_holder)
+        yield Work(OTHER, US(50))
+        b = yield Spawn(waiter)
+        yield Join(a)
+        yield Join(b)
+        yield Progress("tick")
+
+    prof = _profiler(pct=100)
+    Program(main, config=_config()).run(hook=prof)
+    # the waiter was woken by the hot thread: the ~20 hits that accumulated
+    # while it was blocked are credited, so its pause time stays far below
+    # the 20ms it would otherwise owe
+    assert pauses["at_wake"] < MS(6)
+
+
+def test_delays_execute_before_thread_exit():
+    """pthread_exit is a waking call (Table 1): pending delays run first."""
+
+    def main(t):
+        done = {}
+
+        def hot_thread(t2):
+            yield Work(HOT, MS(30))
+
+        def short_lived(t2):
+            yield Work(OTHER, MS(3))
+            done["pause"] = t2.pause_ns
+            # exits here; any pending delays must be executed before its
+            # joiner is woken
+
+        a = yield Spawn(hot_thread)
+        b = yield Spawn(short_lived)
+        yield Join(b)
+        jointime = t.cpu_ns  # placeholder; main mostly blocked
+        yield Join(a)
+        yield Progress("tick")
+        main.pause_after_exit = b.pause_ns
+
+    prof = _profiler(pct=100)
+    Program(main, config=_config()).run(hook=prof)
+    # total pause on the exiting thread includes the pre-exit settlement
+    assert main.pause_after_exit >= 0  # smoke: path executed without error

@@ -1,0 +1,155 @@
+"""Figure 3: virtual speedups are equivalent to actual speedups.
+
+Program: two threads, `f` (the selected line) and `g` running concurrently
+in rounds.  We compare, for a range of speedups:
+
+* **actual**: rebuild the program with f's cost scaled down and measure the
+  real progress period;
+* **virtual**: run the original program under the profiler with a fixed-line
+  experiment at the same percentage and read the measured program speedup.
+
+The two must agree within sampling noise — the core soundness claim of the
+paper (§3.4, eqs. 1-4).
+"""
+
+import pytest
+
+from repro.apps.spec import line_factor, scaled
+from repro.core.config import CozConfig
+from repro.core.profiler import CausalProfiler
+from repro.core.progress import ProgressPoint
+from repro.harness.runner import profile_app, profile_program
+from repro.sim import MS, US, BarrierWait, Join, Program, Progress, Scope, SimConfig, Spawn, Work, line
+from repro.sim.sync import Barrier
+
+F = line("fg.c:10")
+G = line("fg.c:20")
+F_NS = MS(2.0)
+G_NS = MS(3.0)
+
+
+def build(f_factor=1.0, rounds=400):
+    f_cost = int(F_NS * f_factor)
+
+    def make(seed=0):
+        def main(t):
+            b = Barrier(2)
+
+            def ft(t2):
+                for _ in range(rounds):
+                    if f_cost:
+                        yield Work(F, f_cost)
+                    serial = yield BarrierWait(b)
+                    if serial:
+                        yield Progress("round")
+
+            def gt(t2):
+                for _ in range(rounds):
+                    yield Work(G, G_NS)
+                    serial = yield BarrierWait(b)
+                    if serial:
+                        yield Progress("round")
+
+            a = yield Spawn(ft)
+            c = yield Spawn(gt)
+            yield Join(a)
+            yield Join(c)
+
+        cfg = SimConfig(seed=seed, cores=4, sample_period_ns=US(250), quantum_ns=MS(0.5))
+        return Program(main, config=cfg)
+
+    return make
+
+
+def actual_period(f_factor):
+    r = build(f_factor)(0).run()
+    return r.runtime_ns / r.progress("round")
+
+
+def virtual_speedup_measurement(pct, runs=4):
+    outcome = profile_program(
+        build(1.0),
+        [ProgressPoint("round")],
+        "round",
+        runs=runs,
+        coz_config=CozConfig(
+            scope=Scope.all_main(),
+            fixed_line=F,
+            speedup_schedule=[0, pct],
+            experiment_duration_ns=MS(60),
+        ),
+    )
+    lp = outcome.profile.get(F)
+    assert lp is not None
+    return lp.point_at(pct).program_speedup
+
+
+@pytest.mark.parametrize("pct", [25, 50, 100])
+def test_virtual_matches_actual(pct):
+    base = actual_period(1.0)
+    real = actual_period(1.0 - pct / 100.0)
+    actual = 1.0 - real / base
+    virtual = virtual_speedup_measurement(pct)
+    # g (3 ms) dominates the round, so speeding f has zero true effect;
+    # both measurements must agree on that within noise
+    assert actual == pytest.approx(0.0, abs=0.01)
+    assert virtual == pytest.approx(actual, abs=0.035)
+
+
+def test_virtual_matches_actual_when_f_critical():
+    """Make f the critical path (f=2ms+2ms=4ms > g=3ms): speeding f helps."""
+    F2 = line("fg.c:11")
+
+    def build2(f_factor=1.0, rounds=300):
+        f_cost = int(MS(4.0) * f_factor)
+
+        def make(seed=0):
+            def main(t):
+                b = Barrier(2)
+
+                def ft(t2):
+                    for _ in range(rounds):
+                        if f_cost:
+                            yield Work(F2, f_cost)
+                        serial = yield BarrierWait(b)
+                        if serial:
+                            yield Progress("round")
+
+                def gt(t2):
+                    for _ in range(rounds):
+                        yield Work(G, G_NS)
+                        serial = yield BarrierWait(b)
+                        if serial:
+                            yield Progress("round")
+
+                a = yield Spawn(ft)
+                c = yield Spawn(gt)
+                yield Join(a)
+                yield Join(c)
+
+            cfg = SimConfig(seed=seed, cores=4, sample_period_ns=US(250), quantum_ns=MS(0.5))
+            return Program(main, config=cfg)
+
+        return make
+
+    base = build2(1.0)(0).run()
+    real = build2(0.5)(0).run()
+    p0 = base.runtime_ns / base.progress("round")
+    p1 = real.runtime_ns / real.progress("round")
+    actual = 1.0 - p1 / p0  # max(2,3)/max(4,3): 4 -> 3 ms: 25%
+
+    outcome = profile_program(
+        build2(1.0),
+        [ProgressPoint("round")],
+        "round",
+        runs=4,
+        coz_config=CozConfig(
+            scope=Scope.all_main(),
+            fixed_line=F2,
+            speedup_schedule=[0, 50],
+            experiment_duration_ns=MS(60),
+        ),
+    )
+    virtual = outcome.profile.get(F2).point_at(50).program_speedup
+    assert actual == pytest.approx(0.25, abs=0.01)
+    assert virtual == pytest.approx(actual, abs=0.05)

@@ -1,0 +1,101 @@
+"""End-to-end latency profiling (§3.3): Little's law on a queueing server."""
+
+import random
+
+import pytest
+
+from repro.core.config import CozConfig
+from repro.core.profile_data import ProfileData, build_latency_profile
+from repro.core.profiler import CausalProfiler
+from repro.core.progress import LatencySpec, ProgressPoint
+from repro.sim import IO, MS, US, Join, Program, Progress, Scope, SimConfig, Spawn, Work, line
+from repro.sim.sync import Channel
+
+PARSE = line("server.c:100")
+SPEC = LatencySpec("request", begin="request-begin", end="request-end")
+
+
+def make_program(seed=0, n_requests=6000, parse_us=14):
+    def main(t):
+        queue = Channel(64)
+
+        def client(t2, cid):
+            rng = random.Random(seed * 131 + cid)
+            for _ in range(n_requests // 8):
+                yield IO(US(rng.randrange(10, 60)))
+                yield Progress("request-begin")
+                yield from queue.put(cid)
+
+        def worker(t2):
+            while True:
+                item = yield from queue.get()
+                if item is Channel.CLOSED:
+                    break
+                yield Work(PARSE, US(parse_us))
+                yield Progress("request-end")
+
+        clients = []
+        for cid in range(8):
+            def cbody(t2, cid=cid):
+                yield from client(t2, cid)
+            clients.append((yield Spawn(cbody)))
+        workers = []
+        for i in range(4):
+            workers.append((yield Spawn(worker)))
+        for c in clients:
+            yield Join(c)
+        yield from queue.close()
+        for w in workers:
+            yield Join(w)
+
+    return Program(main, config=SimConfig(seed=seed, cores=8, sample_period_ns=US(100)))
+
+
+def collect(parse_us=14, runs=6):
+    data = ProfileData()
+    for seed in range(runs):
+        prof = CausalProfiler(
+            CozConfig(
+                scope=Scope.all_main(),
+                fixed_line=PARSE,
+                speedup_schedule=[0, 50],
+                experiment_duration_ns=MS(5),
+                seed=seed,
+            ),
+            progress_points=[ProgressPoint("request-begin"), ProgressPoint("request-end")],
+            latency_specs=[SPEC],
+        )
+        make_program(seed, parse_us=parse_us).run(hook=prof)
+        data.merge(prof.data)
+    return data
+
+
+def test_latency_profile_shows_improvement():
+    data = collect()
+    points = build_latency_profile(data, PARSE, SPEC)
+    assert points is not None
+    by_pct = {p.speedup_pct: p for p in points}
+    assert 0 in by_pct and 50 in by_pct
+    assert by_pct[0].latency_reduction == pytest.approx(0.0)
+    # speeding the service line cuts latency (service + queueing)
+    assert by_pct[50].latency_reduction > 0.02
+    assert by_pct[50].latency_ns < by_pct[0].latency_ns
+
+
+def test_baseline_latency_scales_with_service_time():
+    fast = build_latency_baseline(parse_us=6)
+    slow = build_latency_baseline(parse_us=20)
+    assert slow > fast
+
+
+def build_latency_baseline(parse_us):
+    data = collect(parse_us=parse_us, runs=3)
+    points = build_latency_profile(data, PARSE, SPEC)
+    return next(p.latency_ns for p in points if p.speedup_pct == 0)
+
+
+def test_latency_profile_requires_baseline():
+    data = collect(runs=2)
+    # strip baseline experiments
+    data.experiments = [e for e in data.experiments if e.speedup_pct != 0]
+    assert build_latency_profile(data, PARSE, SPEC) is None

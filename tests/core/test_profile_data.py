@@ -1,0 +1,149 @@
+"""Profile combination rules (§2 'Producing a causal profile')."""
+
+import pytest
+
+from repro.core.experiment import ExperimentResult
+from repro.core.profile_data import (
+    ProfileData,
+    RunInfo,
+    build_causal_profile,
+    build_line_profile,
+)
+from repro.sim.clock import MS
+from repro.sim.source import line
+
+L = line("x.c:1")
+L2 = line("x.c:2")
+
+
+def exp(src, pct, visits, eff_ms, delay_count=0, delay_ns=0, s_obs=10, start=0):
+    dur = MS(eff_ms) + delay_count * delay_ns
+    return ExperimentResult(
+        line=src,
+        speedup_pct=pct,
+        delay_ns=delay_ns,
+        start_ns=start,
+        end_ns=start + dur,
+        delay_count=delay_count,
+        selected_samples=s_obs,
+        visits={"p": visits},
+    )
+
+
+def data_with(experiments, runtime_ms=1000, line_samples=None):
+    d = ProfileData()
+    for e in experiments:
+        d.add_experiment(e)
+    info = RunInfo(runtime_ns=MS(runtime_ms), total_delay_ns=0)
+    if line_samples:
+        info.line_samples.update(line_samples)
+    d.add_run(info)
+    return d
+
+
+def test_effective_duration_subtracts_delays():
+    e = exp(L, 50, 10, eff_ms=10, delay_count=4, delay_ns=MS(1))
+    assert e.duration_ns == MS(14)
+    assert e.inserted_delay_ns == MS(4)
+    assert e.effective_ns == MS(10)
+
+
+def test_line_without_baseline_discarded():
+    d = data_with([exp(L, 25, 10, 10), exp(L, 50, 10, 10)])
+    assert build_line_profile(d, L, "p") is None
+
+
+def test_program_speedup_from_periods():
+    d = data_with(
+        [exp(L, 0, 10, 10), exp(L, 50, 10, 8)],
+        line_samples={L: 100},
+    )
+    lp = build_line_profile(d, L, "p", phase_correction=False)
+    pt = lp.point_at(50)
+    # period went 1.0 -> 0.8 ms/visit: 20% program speedup
+    assert pt.program_speedup == pytest.approx(0.20)
+
+
+def test_same_variable_experiments_combine_by_summing():
+    d = data_with(
+        [
+            exp(L, 0, 10, 10),
+            exp(L, 50, 5, 5),   # period 1.0
+            exp(L, 50, 15, 7),  # period 0.466; combined (5+7)/(5+15) = 0.6
+        ],
+        line_samples={L: 100},
+    )
+    lp = build_line_profile(d, L, "p", phase_correction=False)
+    assert lp.point_at(50).program_speedup == pytest.approx(0.4)
+    assert lp.point_at(50).n_experiments == 2
+
+
+def test_min_speedup_amounts_filter():
+    exps = [exp(L, 0, 10, 10), exp(L, 25, 10, 9)]
+    exps += [exp(L2, pct, 10, 10 - pct // 25) for pct in (0, 25, 50, 75, 100)]
+    d = data_with(exps, line_samples={L: 50, L2: 50})
+    profile = build_causal_profile(d, "p", min_speedup_amounts=5)
+    assert profile.get(L) is None       # only 2 distinct speedups
+    assert profile.get(L2) is not None  # 5 distinct speedups
+
+
+def test_ranking_by_slope():
+    exps = []
+    for pct, eff in ((0, 10), (50, 5)):        # strong line: 50% at half
+        exps.append(exp(L, pct, 10, eff))
+    for pct, eff in ((0, 10), (50, 10)):       # flat line
+        exps.append(exp(L2, pct, 10, eff))
+    d = data_with(exps, line_samples={L: 50, L2: 50})
+    profile = build_causal_profile(d, "p", min_speedup_amounts=2,
+                                   phase_correction=False)
+    ranked = profile.ranked()
+    assert [lp.line for lp in ranked] == [L, L2]
+    assert ranked[0].slope > ranked[1].slope
+
+
+def test_contention_detection():
+    exps = [exp(L, 0, 10, 10), exp(L, 50, 10, 14)]  # slowdown!
+    d = data_with(exps, line_samples={L: 50})
+    profile = build_causal_profile(d, "p", min_speedup_amounts=2,
+                                   phase_correction=False)
+    lp = profile.get(L)
+    assert lp.is_contended()
+    assert profile.contended() == [lp]
+
+
+def test_phase_correction_scales_down_phased_lines():
+    """A line sampled only 10% of the run gets its speedup scaled by ~t_A/T."""
+    exps = [
+        exp(L, 0, 10, 10, s_obs=100),
+        exp(L, 50, 10, 8, s_obs=100),
+    ]
+    # line active only 36ms of a 360ms run (sample density matches exps)
+    d = data_with(exps, runtime_ms=360, line_samples={L: 200})
+    raw = build_line_profile(d, L, "p", phase_correction=False)
+    corrected = build_line_profile(d, L, "p", phase_correction=True)
+    assert corrected.phase_factor < 1.0
+    assert corrected.point_at(50).program_speedup < raw.point_at(50).program_speedup
+    # factor = (t_obs/s_obs) * (s/T) = (18ms/200) * (200/360ms) = 0.05
+    assert corrected.phase_factor == pytest.approx(0.05, rel=0.05)
+
+
+def test_phase_correction_capped_at_one():
+    exps = [exp(L, 0, 10, 10, s_obs=5), exp(L, 50, 10, 8, s_obs=5)]
+    d = data_with(exps, runtime_ms=20, line_samples={L: 1000})
+    lp = build_line_profile(d, L, "p", phase_correction=True)
+    assert lp.phase_factor == 1.0
+
+
+def test_merge_accumulates_runs():
+    d1 = data_with([exp(L, 0, 10, 10)], line_samples={L: 10})
+    d2 = data_with([exp(L, 50, 10, 8)], line_samples={L: 10})
+    d1.merge(d2)
+    assert len(d1.experiments) == 2
+    assert len(d1.runs) == 2
+    assert d1.total_line_samples(L) == 20
+
+
+def test_progress_names_and_lines_enumeration():
+    d = data_with([exp(L, 0, 10, 10), exp(L2, 0, 5, 10)])
+    assert d.progress_names() == ["p"]
+    assert d.lines() == [L, L2]

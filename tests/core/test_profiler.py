@@ -1,0 +1,140 @@
+"""CausalProfiler experiment coordination (§3.2)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.config import CozConfig
+from repro.core.profiler import CausalProfiler
+from repro.core.progress import ProgressPoint
+from repro.sim import MS, US, Program, Progress, Scope, SimConfig, Work, line
+
+HOT = line("w.c:1")
+
+
+def make_program(total_ms=200, tick_us=200, config=None):
+    def main(t):
+        for _ in range(int(MS(total_ms) // US(tick_us))):
+            yield Work(HOT, US(tick_us))
+            yield Progress("tick")
+
+    return Program(main, config=config or SimConfig(sample_period_ns=US(100)))
+
+
+def run_profiled(cfg, total_ms=200):
+    prof = CausalProfiler(cfg, [ProgressPoint("tick")])
+    result = make_program(total_ms).run(hook=prof)
+    return prof, result
+
+
+def test_experiments_run_and_record():
+    cfg = CozConfig(experiment_duration_ns=MS(10), cooloff_ns=MS(1))
+    prof, _ = run_profiled(cfg)
+    assert prof.experiments_run >= 10
+    for e in prof.data.experiments:
+        assert e.line == HOT
+        assert e.duration_ns >= MS(10)
+        assert e.visits["tick"] > 0
+
+
+def test_speedup_selection_distribution():
+    """0% is selected with ~the configured probability; others from the grid."""
+    cfg = CozConfig(
+        experiment_duration_ns=MS(2),
+        cooloff_ns=US(100),
+        zero_speedup_prob=0.5,
+        seed=42,
+    )
+    prof, _ = run_profiled(cfg, total_ms=400)
+    counts = Counter(e.speedup_pct for e in prof.data.experiments)
+    n = sum(counts.values())
+    assert n > 80
+    assert 0.3 <= counts[0] / n <= 0.7
+    assert all(pct % 5 == 0 and 0 <= pct <= 100 for pct in counts)
+
+
+def test_speedup_schedule_cycles():
+    cfg = CozConfig(
+        experiment_duration_ns=MS(5),
+        cooloff_ns=US(100),
+        speedup_schedule=[0, 30, 60],
+    )
+    prof, _ = run_profiled(cfg)
+    got = [e.speedup_pct for e in prof.data.experiments[:6]]
+    assert got == [0, 30, 60, 0, 30, 60]
+
+
+def test_experiment_length_doubles_on_few_visits():
+    """§2: fewer than min_visits progress visits => double the length."""
+    cfg = CozConfig(experiment_duration_ns=MS(1), min_visits=100, cooloff_ns=US(100))
+    prof, _ = run_profiled(cfg, total_ms=100)
+    durations = [e.duration_ns for e in prof.data.experiments]
+    assert durations[0] == MS(1)
+    assert any(d > MS(1) for d in durations[1:])
+    # doubling is monotone until visits suffice
+    assert durations == sorted(durations)[: len(durations)]
+
+
+def test_run_info_recorded_on_end():
+    cfg = CozConfig(experiment_duration_ns=MS(10))
+    prof, result = run_profiled(cfg)
+    assert len(prof.data.runs) == 1
+    info = prof.data.runs[0]
+    assert info.runtime_ns == result.runtime_ns
+    assert info.line_samples[HOT] > 0
+
+
+def test_sampling_overhead_charged():
+    cfg = CozConfig(experiment_duration_ns=MS(10), sample_process_cost_ns=US(5))
+    prof, result = run_profiled(cfg)
+    assert result.profiler_cpu_ns > 0
+
+
+def test_startup_cost_scales_with_debug_size():
+    def main(t):
+        yield Work(HOT, MS(1))
+
+    small = Program(main, debug_size_kb=10)
+    big = Program(main, debug_size_kb=10_000)
+    cfg = CozConfig()
+    r_small = small.run(hook=CausalProfiler(cfg, [ProgressPoint("tick")]))
+    r_big = big.run(hook=CausalProfiler(cfg, [ProgressPoint("tick")]))
+    assert r_big.runtime_ns > r_small.runtime_ns
+    assert r_big.profiler_cpu_ns > r_small.profiler_cpu_ns
+
+
+def test_disable_sampling_disables_experiments():
+    cfg = CozConfig(enable_sampling=False)
+    prof, result = run_profiled(cfg)
+    assert prof.experiments_run == 0
+    assert result.sample_count == 0
+
+
+def test_disable_delays_forces_zero_speedups():
+    cfg = CozConfig(enable_delays=False, experiment_duration_ns=MS(5), cooloff_ns=US(100))
+    prof, result = run_profiled(cfg)
+    assert prof.experiments_run > 5
+    assert all(e.speedup_pct == 0 for e in prof.data.experiments)
+    assert result.delay_ns == 0
+
+
+def test_scope_restricts_selection():
+    cfg = CozConfig(
+        scope=Scope.only("elsewhere.c"),
+        experiment_duration_ns=MS(5),
+    )
+    prof, _ = run_profiled(cfg)
+    assert prof.experiments_run == 0  # HOT is out of scope; nothing selected
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CozConfig(zero_speedup_prob=1.5).validate()
+    with pytest.raises(ValueError):
+        CozConfig(experiment_duration_ns=0).validate()
+    with pytest.raises(ValueError):
+        CozConfig(speedup_values=(0, 120)).validate()
+    with pytest.raises(ValueError):
+        CozConfig(speedup_values=(5, 10)).validate()  # no baseline
+    with pytest.raises(ValueError):
+        CozConfig(min_visits=0).validate()

@@ -1,0 +1,76 @@
+"""Progress points: source, breakpoint, sampled; latency via Little's law."""
+
+import pytest
+
+from repro.core.experiment import ExperimentResult
+from repro.core.progress import LatencySpec, ProgressPoint, ProgressTracker
+from repro.sim.clock import MS, US
+from repro.sim.source import line
+
+L = line("pp.c:5")
+
+
+def test_point_validation():
+    with pytest.raises(ValueError):
+        ProgressPoint("x", kind="bogus")
+    with pytest.raises(ValueError):
+        ProgressPoint("x", kind="breakpoint")  # needs a line
+    ProgressPoint("x", kind="breakpoint", line=L)  # ok
+
+
+def test_source_visits_counted_even_unregistered():
+    tr = ProgressTracker([ProgressPoint("a")])
+    tr.on_source_visit("a")
+    tr.on_source_visit("lazy")  # Coz counts every COZ_PROGRESS
+    assert tr.snapshot() == {"a": 1, "lazy": 1}
+
+
+def test_breakpoint_visits_by_line():
+    tr = ProgressTracker([ProgressPoint("bp", kind="breakpoint", line=L)])
+    tr.on_line_visit(L)
+    tr.on_line_visit(line("pp.c:999"))  # unwatched
+    assert tr.snapshot() == {"bp": 1}
+    assert tr.breakpoint_lines == [L]
+
+
+def test_sampled_points_count_samples():
+    tr = ProgressTracker([ProgressPoint("sp", kind="sampled", line=L)])
+    tr.on_sample_line(L)
+    tr.on_sample_line(L)
+    tr.on_sample_line(None)
+    tr.on_sample_line(line("pp.c:1"))
+    assert tr.snapshot() == {"sp": 2}
+
+
+def test_delta_between_snapshots():
+    before = {"a": 3}
+    after = {"a": 10, "b": 2}
+    assert ProgressTracker.delta(before, after) == {"a": 7, "b": 2}
+
+
+def test_latency_via_littles_law():
+    """W = L / lambda with L from begin/end count gaps."""
+    e = ExperimentResult(
+        line=L,
+        speedup_pct=0,
+        delay_ns=0,
+        start_ns=0,
+        end_ns=MS(100),
+        delay_count=0,
+        selected_samples=0,
+        visits={"begin": 1000, "end": 1000},
+        counts_before={"begin": 0, "end": 0},
+        counts_after={"begin": 1000, "end": 996},
+    )
+    # arrival rate = 1000 visits / 100ms; average in-flight = (0+4)/2 = 2
+    lam = 1000 / MS(100)
+    assert e.in_flight("begin", "end") == 2.0
+    assert e.latency_ns("begin", "end") == pytest.approx(2.0 / lam)
+
+
+def test_latency_none_without_arrivals():
+    e = ExperimentResult(
+        line=L, speedup_pct=0, delay_ns=0, start_ns=0, end_ns=MS(1),
+        delay_count=0, selected_samples=0, visits={},
+    )
+    assert e.latency_ns("begin", "end") is None

@@ -1,0 +1,56 @@
+"""Report rendering: tables, ASCII graphs, CSV, Coz file format."""
+
+from repro.core.experiment import ExperimentResult
+from repro.core.profile_data import CausalProfile, LineProfile, ProfileData, ProfilePoint, RunInfo
+from repro.core.report import render_line_graph, render_profile, to_coz_format, to_csv
+from repro.sim.clock import MS
+from repro.sim.source import line
+
+L = line("r.c:10")
+
+
+def profile():
+    pts = [
+        ProfilePoint(0, 0.0, 0.0, 5, 50),
+        ProfilePoint(50, 0.08, 0.01, 3, 30),
+        ProfilePoint(100, 0.15, 0.02, 2, 20),
+    ]
+    lp = LineProfile(line=L, progress_point="p", points=pts, phase_factor=1.0, total_samples=42)
+    return CausalProfile("p", [lp])
+
+
+def test_render_profile_contains_line_and_slope():
+    out = render_profile(profile())
+    assert "r.c:10" in out
+    assert "optimize" in out
+    assert "p" in out
+
+
+def test_render_line_graph_shape():
+    out = render_line_graph(profile().lines[0], width=40, height=8)
+    assert "r.c:10" in out
+    assert "*" in out
+    assert "100%" in out
+
+
+def test_csv_round_trips_points():
+    out = to_csv(profile())
+    lines = out.strip().splitlines()
+    assert lines[0].startswith("line,progress_point")
+    assert len(lines) == 4  # header + 3 points
+    assert "r.c:10,p,50,8.0000" in out
+
+
+def test_coz_format_records():
+    d = ProfileData()
+    d.add_experiment(
+        ExperimentResult(
+            line=L, speedup_pct=25, delay_ns=250_000, start_ns=0, end_ns=MS(10),
+            delay_count=3, selected_samples=7, visits={"p": 11},
+        )
+    )
+    d.add_run(RunInfo(runtime_ns=MS(100), total_delay_ns=0))
+    out = to_coz_format(d)
+    assert out.startswith("startup\ttime=")
+    assert "experiment\tselected=r.c:10\tspeedup=0.25\tduration=10000000\tselected-samples=7" in out
+    assert "progress-point\tname=p\ttype=source\tdelta=11" in out

@@ -1,0 +1,143 @@
+"""DelayEngine: the counter-based delay protocol of §3.4."""
+
+from repro.core.speedup import DelayEngine
+from repro.sim.thread import VThread
+
+
+def _thread(name="t"):
+    def body(t):
+        yield None
+
+    return VThread(body, name=name)
+
+
+def make_engine(**kw):
+    eng = DelayEngine(**kw)
+    return eng
+
+
+def test_inactive_engine_is_inert():
+    eng = make_engine()
+    t = _thread()
+    assert eng.on_hits(t, 5) == 0
+    assert eng.reconcile(t) == 0
+
+
+def test_hit_bumps_global_and_self_credits():
+    """§3.4.3: the executing thread never pauses for its own samples."""
+    eng = make_engine()
+    a, b = _thread("a"), _thread("b")
+    eng.begin(delay_ns=100, threads=[a, b])
+    assert eng.on_hits(a, 3) == 0  # self-credited
+    assert eng.global_count == 3
+    assert eng.reconcile(b) == 300  # b owes three delays
+    assert eng.reconcile(b) == 0    # paid up
+
+
+def test_parallel_executors_cancel():
+    """If every thread runs the line equally, nobody pauses (§3.4.3)."""
+    eng = make_engine()
+    a, b = _thread("a"), _thread("b")
+    eng.begin(delay_ns=100, threads=[a, b])
+    assert eng.on_hits(a, 2) == 0
+    assert eng.on_hits(b, 2) == 0  # b's own hits cover the global
+    assert eng.global_count == 2
+    assert eng.reconcile(a) == 0
+    assert eng.reconcile(b) == 0
+
+
+def test_naive_mode_charges_everyone():
+    """Pre-optimization scheme: the global rises on every hit."""
+    eng = make_engine(minimal=False)
+    a, b = _thread("a"), _thread("b")
+    eng.begin(delay_ns=100, threads=[a, b])
+    assert eng.on_hits(a, 2) == 0      # first mover: global catches up to 2
+    assert eng.on_hits(b, 2) == 200    # b pays a's hits despite its own
+    # both executed the line twice, yet the global is 4: each owes the
+    # other's hits
+    assert eng.global_count == 4
+    assert eng.reconcile(a) == 200
+    assert eng.reconcile(b) == 0       # already paid inside on_hits
+
+
+def test_credit_skips_accumulated_delays():
+    """A thread woken by a peer skips delays (§3.4.1)."""
+    eng = make_engine()
+    a, b = _thread("a"), _thread("b")
+    eng.begin(delay_ns=50, threads=[a, b])
+    eng.on_hits(a, 4)
+    eng.credit(b)
+    assert eng.reconcile(b) == 0
+
+
+def test_spawned_thread_inherits_parent_local():
+    """§3.4 'Thread creation': children inherit the parent's local count."""
+    eng = make_engine()
+    a = _thread("a")
+    eng.begin(delay_ns=50, threads=[a])
+    eng.on_hits(a, 4)          # a self-credited at 4
+    child = _thread("child")
+    eng.on_thread_created(child, a)
+    assert eng.reconcile(child) == 0  # inherits 4, owes nothing
+
+    orphanish = _thread("late")
+    eng.on_thread_created(orphanish, None)
+    assert eng.reconcile(orphanish) == 0  # starts at the global
+
+
+def test_end_freezes_and_reports_count():
+    eng = make_engine()
+    a, b = _thread("a"), _thread("b")
+    eng.begin(delay_ns=100, threads=[a, b])
+    eng.on_hits(a, 7)
+    assert eng.end() == 7
+    assert not eng.active
+    assert eng.reconcile(b) == 0  # nothing owed after the experiment
+
+
+def test_experiments_reset_counters():
+    eng = make_engine()
+    a, b = _thread("a"), _thread("b")
+    eng.begin(delay_ns=100, threads=[a, b])
+    eng.on_hits(a, 5)
+    eng.end()
+    eng.begin(delay_ns=200, threads=[a, b])
+    assert eng.global_count == 0
+    assert eng.reconcile(b) == 0
+    eng.on_hits(a, 1)
+    assert eng.reconcile(b) == 200  # new delay size in effect
+
+
+def test_zero_delay_counts_but_never_pauses():
+    """Baseline (0%) experiments count hits but insert no delays."""
+    eng = make_engine()
+    a, b = _thread("a"), _thread("b")
+    eng.begin(delay_ns=0, threads=[a, b])
+    eng.on_hits(a, 9)
+    assert eng.global_count == 9
+    assert eng.reconcile(b) == 0
+
+
+def test_nanosleep_excess_is_subtracted_from_future_pauses():
+    """'Ensuring accurate timing': overshoot comes off the next pause."""
+    eng = make_engine(jitter_ns=40, seed=123)
+    a, b = _thread("a"), _thread("b")
+    eng.begin(delay_ns=1000, threads=[a, b])
+    eng.on_hits(a, 1)
+    first = eng.reconcile(b)
+    overshoot = first - 1000
+    assert 0 <= overshoot <= 40
+    eng.on_hits(a, 1)
+    second = eng.reconcile(b)
+    # the second pause is reduced by the first overshoot (plus new jitter)
+    assert second <= 1000 + 40
+    assert first + second <= 2000 + 80
+
+
+def test_total_inserted_accounting():
+    eng = make_engine()
+    a, b = _thread("a"), _thread("b")
+    eng.begin(delay_ns=10, threads=[a, b])
+    eng.on_hits(a, 3)
+    eng.reconcile(b)
+    assert eng.total_inserted_ns == 30

@@ -1,0 +1,128 @@
+"""Harness: runner, comparison, overhead, prediction, tables, CLI."""
+
+import pytest
+
+from repro.apps.example import LINE_A, build_example, optimal_speedup_fraction
+from repro.apps.swaptions import LINE_ZERO, build_swaptions
+from repro.core.config import CozConfig
+from repro.harness.comparison import compare_builds, measure_runtimes
+from repro.harness.overhead import measure_overhead
+from repro.harness.prediction import accuracy_study
+from repro.harness.runner import profile_app
+from repro.harness.tables import render_accuracy, render_figure9, render_table3
+from repro.sim.clock import MS
+
+
+def test_measure_runtimes_independent_seeds():
+    spec = build_example(rounds=5)
+    times = measure_runtimes(spec.build, runs=3)
+    assert len(times) == 3
+    assert all(t > 0 for t in times)
+
+
+def test_compare_builds_detects_real_speedup():
+    base = build_example(rounds=8)
+    opt = build_example(rounds=8, line_speedups={LINE_A: 0.0})
+    cmp_result = compare_builds("example", base.build, opt.build, runs=4)
+    assert cmp_result.speedup_pct == pytest.approx(
+        100 * optimal_speedup_fraction(), abs=1.0
+    )
+    assert "example" in cmp_result.row()
+
+
+def test_profile_app_merges_runs():
+    spec = build_example(rounds=40)
+    cfg = CozConfig(scope=spec.scope, experiment_duration_ns=MS(40))
+    out = profile_app(spec, runs=3, coz_config=cfg)
+    assert len(out.data.runs) == 3
+    assert out.experiment_count > 3
+    assert len(out.run_results) == 3
+
+
+def test_overhead_breakdown_components_nonnegative():
+    spec = build_swaptions(n_iters=60)
+    b = measure_overhead(spec, runs=1)
+    assert b.baseline_ns > 0
+    assert b.startup_pct >= 0
+    assert b.total_pct >= b.startup_pct
+    assert "swaptions" in b.row()
+
+
+def test_accuracy_study_on_swaptions_zero_loop():
+    """Focused §4.3-style check: prediction ~ realized for a simple line."""
+    spec = build_swaptions(False, n_iters=250)
+    optimized = build_swaptions(False, n_iters=250, line_speedups={LINE_ZERO: 0.1})
+    cfg = CozConfig(
+        experiment_duration_ns=MS(25),
+        speedup_schedule=[0, 90],
+    )
+    res = accuracy_study(
+        spec, optimized, LINE_ZERO, line_speedup_pct=90,
+        coz_config=cfg, profile_runs=4, timing_runs=2,
+    )
+    assert res.realized == pytest.approx(0.089, abs=0.01)  # 162/1840
+    assert res.predicted == pytest.approx(res.realized, abs=0.04)
+    assert res.error_pp < 4.0
+    assert "swaptions" in res.row()
+
+
+def test_render_tables_smoke():
+    base = build_example(rounds=5)
+    opt = build_example(rounds=5, line_speedups={LINE_A: 0.5})
+    cmp_result = compare_builds("example", base.build, opt.build, runs=2)
+    out = render_table3([cmp_result])
+    assert "example" in out and "Speedup" in out
+
+    b = measure_overhead(build_swaptions(n_iters=40), runs=1)
+    fig9 = render_figure9([b])
+    assert "MEAN" in fig9
+
+
+def test_cli_list_and_profile(capsys):
+    from repro.cli import main
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "dedup" in out and "example" in out
+
+    assert main([
+        "profile", "example", "--runs", "2", "--experiment-ms", "60",
+        "--speedup-step", "50", "--graphs", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Causal profile" in out
+    assert "example.cpp" in out
+
+
+def test_cli_compare(capsys):
+    from repro.cli import main
+
+    assert main(["compare", "swaptions", "--runs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "swaptions" in out and "%" in out
+
+
+def test_cli_rejects_unknown_app():
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["profile", "nosuchapp"])
+
+
+def test_cli_overhead_and_coz_output(capsys, tmp_path):
+    from repro.cli import main
+
+    assert main(["overhead", "blackscholes", "--runs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "startup=" in out and "delays=" in out
+
+    target = str(tmp_path / "profile.coz")
+    assert main([
+        "profile", "example", "--runs", "1", "--experiment-ms", "60",
+        "--speedup-step", "50", "--coz-output", target,
+    ]) == 0
+    capsys.readouterr()
+    with open(target) as f:
+        content = f.read()
+    assert content.startswith("startup\ttime=")
+    assert "experiment\tselected=" in content

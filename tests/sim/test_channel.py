@@ -1,0 +1,128 @@
+"""Bounded channel (pipeline pipe) semantics."""
+
+import pytest
+
+from repro.sim import MS, US, Join, Program, SimConfig, Spawn, Work, line
+from repro.sim.sync import Channel
+
+L = line("c.c:1")
+
+
+def run(main, cores=4):
+    return Program(main, config=SimConfig(cores=cores)).run()
+
+
+def test_fifo_order_single_consumer():
+    got = []
+
+    def main(t):
+        ch = Channel(8)
+
+        def producer(t2):
+            for i in range(20):
+                yield from ch.put(i)
+            yield from ch.close()
+
+        def consumer(t2):
+            while True:
+                item = yield from ch.get()
+                if item is Channel.CLOSED:
+                    break
+                got.append(item)
+
+        p = yield Spawn(producer)
+        c = yield Spawn(consumer)
+        yield Join(p)
+        yield Join(c)
+
+    run(main)
+    assert got == list(range(20))
+
+
+def test_capacity_blocks_producer():
+    """A fast producer into a full channel must wait for the consumer."""
+
+    def main(t):
+        ch = Channel(2)
+
+        def producer(t2):
+            for i in range(10):
+                yield from ch.put(i)
+                assert len(ch) <= 2
+            yield from ch.close()
+
+        def consumer(t2):
+            while True:
+                item = yield from ch.get()
+                if item is Channel.CLOSED:
+                    break
+                yield Work(L, MS(1))  # slow consumer
+
+        p = yield Spawn(producer)
+        c = yield Spawn(consumer)
+        yield Join(p)
+        yield Join(c)
+
+    r = run(main)
+    # runtime dominated by the slow consumer, proving the producer blocked
+    assert r.runtime_ns >= MS(10)
+
+
+def test_close_drains_multiple_consumers():
+    got = []
+
+    def main(t):
+        ch = Channel(4)
+
+        def consumer(t2):
+            while True:
+                item = yield from ch.get()
+                if item is Channel.CLOSED:
+                    break
+                got.append(item)
+                yield Work(L, US(50))
+
+        cs = []
+        for _ in range(3):
+            cs.append((yield Spawn(consumer)))
+        for i in range(30):
+            yield from ch.put(i)
+        yield from ch.close()
+        for c in cs:
+            yield Join(c)
+
+    run(main, cores=8)
+    assert sorted(got) == list(range(30))
+
+
+def test_put_after_close_raises():
+    def main(t):
+        ch = Channel(2)
+        yield from ch.close()
+        with pytest.raises(RuntimeError):
+            yield from ch.put(1)
+
+    run(main)
+
+
+def test_none_is_a_valid_item():
+    def main(t):
+        ch = Channel(2)
+        yield from ch.put(None)
+        item = yield from ch.get()
+        assert item is None
+        assert item is not Channel.CLOSED
+
+    run(main)
+
+
+def test_channel_statistics():
+    def main(t):
+        ch = Channel(4)
+        for i in range(6):
+            yield from ch.put(i)
+            yield from ch.get()
+        assert ch.total_put == 6
+        assert ch.total_got == 6
+
+    run(main)

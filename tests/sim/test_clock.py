@@ -1,0 +1,26 @@
+"""Units and formatting."""
+
+from repro.sim.clock import MS, NS_PER_MS, NS_PER_SEC, NS_PER_US, SEC, US, fmt_ns
+
+
+def test_unit_conversions():
+    assert US(1) == NS_PER_US == 1_000
+    assert MS(1) == NS_PER_MS == 1_000_000
+    assert SEC(1) == NS_PER_SEC == 1_000_000_000
+
+
+def test_fractional_units_round_to_int():
+    assert US(1.5) == 1_500
+    assert MS(0.25) == 250_000
+    assert isinstance(MS(0.1), int)
+
+
+def test_fmt_ns_adaptive_units():
+    assert fmt_ns(500) == "500ns"
+    assert fmt_ns(1_500) == "1.500us"
+    assert fmt_ns(2_500_000) == "2.500ms"
+    assert fmt_ns(3_000_000_000) == "3.000s"
+
+
+def test_fmt_ns_negative():
+    assert fmt_ns(-1_500) == "-1.500us"

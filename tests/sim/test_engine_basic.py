@@ -1,0 +1,175 @@
+"""Engine fundamentals: time, spawn/join, sleep, I/O, exit values."""
+
+import pytest
+
+from repro.sim import (
+    IO,
+    MS,
+    US,
+    DeadlockError,
+    Join,
+    Lock,
+    Program,
+    Progress,
+    SimConfig,
+    Sleep,
+    Spawn,
+    Work,
+    line,
+)
+from repro.sim.errors import SimulationError
+from repro.sim.sync import Mutex
+
+L = line("a.c:1")
+
+
+def run(main, config=None):
+    return Program(main, config=config or SimConfig()).run()
+
+
+def test_single_work_advances_clock():
+    def main(t):
+        yield Work(L, MS(3))
+
+    assert run(main).runtime_ns == MS(3)
+
+
+def test_sequential_work_accumulates():
+    def main(t):
+        yield Work(L, MS(1))
+        yield Work(L, MS(2))
+
+    r = run(main)
+    assert r.runtime_ns == MS(3)
+    assert r.cpu_ns == MS(3)
+
+
+def test_zero_duration_work_is_legal():
+    def main(t):
+        yield Work(L, 0)
+        yield Work(L, MS(1))
+
+    assert run(main).runtime_ns == MS(1)
+
+
+def test_parallel_threads_overlap(fast_config):
+    def main(t):
+        def worker(t2):
+            yield Work(L, MS(4))
+
+        a = yield Spawn(worker)
+        b = yield Spawn(worker)
+        yield Join(a)
+        yield Join(b)
+
+    r = run(main, fast_config)
+    # two cores: both 4ms bodies overlap (plus tiny spawn costs)
+    assert r.runtime_ns < MS(4.3)
+    assert r.cpu_ns >= MS(8)
+
+
+def test_join_returns_exit_value():
+    def main(t):
+        def worker(t2):
+            yield Work(L, US(10))
+            return "payload"
+
+        w = yield Spawn(worker)
+        got = yield Join(w)
+        assert got == "payload"
+
+    run(main)
+
+
+def test_join_on_finished_thread_is_immediate():
+    def main(t):
+        def worker(t2):
+            yield Work(L, US(1))
+            return 7
+
+        w = yield Spawn(worker)
+        yield Work(L, MS(1))  # worker certainly done
+        got = yield Join(w)
+        assert got == 7
+
+    run(main)
+
+
+def test_sleep_advances_wall_not_cpu():
+    def main(t):
+        yield Sleep(MS(5))
+        yield Work(L, MS(1))
+
+    r = run(main)
+    assert r.runtime_ns == MS(6)
+    assert r.cpu_ns == MS(1)
+
+
+def test_io_blocks_like_sleep():
+    def main(t):
+        yield IO(MS(2))
+
+    assert run(main).runtime_ns == MS(2)
+
+
+def test_progress_counted_without_profiler():
+    def main(t):
+        for _ in range(5):
+            yield Work(L, US(10))
+            yield Progress("tick")
+
+    assert run(main).progress("tick") == 5
+
+
+def test_thread_count_reported():
+    def main(t):
+        def worker(t2):
+            yield Work(L, US(1))
+
+        children = []
+        for _ in range(3):
+            children.append((yield Spawn(worker)))
+        for c in children:
+            yield Join(c)
+
+    assert run(main).thread_count == 4
+
+
+def test_deadlock_detected():
+    def main(t):
+        m = Mutex("m")
+
+        def hog(t2):
+            yield Lock(m)
+            # never unlocks, never exits
+            yield Sleep(MS(1))
+            yield Lock(m)  # self-deadlock
+
+        w = yield Spawn(hog)
+        yield Join(w)
+
+    with pytest.raises(DeadlockError):
+        run(main)
+
+
+def test_max_virtual_ns_guards_runaway():
+    def main(t):
+        while True:
+            yield Work(L, MS(1))
+
+    with pytest.raises(SimulationError):
+        run(main, SimConfig(max_virtual_ns=MS(10)))
+
+
+def test_engine_run_once_only():
+    from repro.sim.engine import Engine
+
+    eng = Engine()
+
+    def main(t):
+        yield Work(L, US(1))
+
+    eng.spawn(main)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.run()

@@ -1,0 +1,44 @@
+"""Program wrapper and RunResult."""
+
+from repro.sim import MS, Program, Progress, SimConfig, Work, line
+
+L = line("p.c:1")
+
+
+def test_run_result_fields():
+    def main(t):
+        yield Work(L, MS(2))
+        yield Progress("done")
+
+    r = Program(main, name="demo", debug_size_kb=42).run()
+    assert r.runtime_ns == MS(2)
+    assert r.cpu_ns == MS(2)
+    assert r.delay_ns == 0
+    assert r.profiler_cpu_ns == 0
+    assert r.progress("done") == 1
+    assert r.progress("missing") == 0
+    assert r.thread_count == 1
+    assert r.engine is not None
+
+
+def test_program_is_reusable():
+    """Each run builds a fresh engine; results are independent."""
+
+    def main(t):
+        yield Work(L, MS(1))
+
+    p = Program(main)
+    r1, r2 = p.run(), p.run()
+    assert r1.runtime_ns == r2.runtime_ns == MS(1)
+    assert r1.engine is not r2.engine
+
+
+def test_program_exposes_metadata_to_engine():
+    captured = {}
+
+    def main(t):
+        yield Work(L, 0)
+
+    p = Program(main, name="meta", debug_size_kb=7)
+    r = p.run()
+    assert r.engine.program is p

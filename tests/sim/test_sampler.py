@@ -1,0 +1,134 @@
+"""Per-thread CPU-time sampling semantics."""
+
+import pytest
+
+from repro.sim import MS, US, Program, SimConfig, Sleep, Work, line
+from repro.sim.hooks import HookAction, ProfilerHook
+from repro.sim.sampler import Sampler
+
+L1 = line("a.c:1")
+L2 = line("a.c:2")
+
+
+class RecordingHook(ProfilerHook):
+    """Collects every delivered sample batch."""
+
+    wants_samples = True
+
+    def __init__(self):
+        self.samples = []
+
+    def on_run_start(self, engine):
+        engine.enable_sampling()
+
+    def on_samples(self, thread, samples):
+        self.samples.extend(samples)
+        return HookAction()
+
+
+def test_sampler_validates_args():
+    with pytest.raises(ValueError):
+        Sampler(0, 10)
+    with pytest.raises(ValueError):
+        Sampler(1000, 0)
+
+
+def test_sample_count_matches_cpu_time():
+    hook = RecordingHook()
+
+    def main(t):
+        yield Work(L1, MS(10))
+
+    cfg = SimConfig(sample_period_ns=MS(1), sample_phase_jitter=False)
+    Program(main, config=cfg).run(hook=hook)
+    assert len(hook.samples) == 10
+    assert all(s.line == L1 for s in hook.samples)
+
+
+def test_sampling_skips_off_cpu_time():
+    hook = RecordingHook()
+
+    def main(t):
+        yield Work(L1, MS(3))
+        yield Sleep(MS(50))
+        yield Work(L1, MS(3))
+
+    cfg = SimConfig(sample_period_ns=MS(1), sample_phase_jitter=False)
+    Program(main, config=cfg).run(hook=hook)
+    assert len(hook.samples) == 6  # nothing sampled during the sleep
+
+
+def test_samples_attribute_proportionally():
+    hook = RecordingHook()
+
+    def main(t):
+        for _ in range(50):
+            yield Work(L1, US(300))
+            yield Work(L2, US(100))
+
+    cfg = SimConfig(sample_period_ns=US(100), sample_phase_jitter=False)
+    Program(main, config=cfg).run(hook=hook)
+    n1 = sum(1 for s in hook.samples if s.line == L1)
+    n2 = sum(1 for s in hook.samples if s.line == L2)
+    assert n1 + n2 == 200
+    assert n1 == pytest.approx(150, abs=5)
+
+
+def test_phase_jitter_shifts_first_sample():
+    """With jitter, two seeds sample at different phases (but same count)."""
+
+    def counts(seed):
+        hook = RecordingHook()
+
+        def main(t):
+            yield Work(L1, MS(5))
+
+        cfg = SimConfig(sample_period_ns=MS(1), seed=seed)
+        Program(main, config=cfg).run(hook=hook)
+        return [s.time for s in hook.samples]
+
+    t0, t1 = counts(1), counts(2)
+    assert len(t0) in (5, 6) and len(t1) in (5, 6)
+    assert t0 != t1  # different phases
+
+
+def test_no_samples_without_enable():
+    class PassiveHook(ProfilerHook):
+        wants_samples = True
+
+        def __init__(self):
+            self.batches = 0
+
+        def on_samples(self, thread, samples):
+            self.batches += 1
+            return HookAction()
+
+    hook = PassiveHook()
+
+    def main(t):
+        yield Work(L1, MS(10))
+
+    Program(main).run(hook=hook)  # never called enable_sampling()
+    assert hook.batches == 0
+
+
+def test_batching_delivers_in_groups():
+    class BatchHook(RecordingHook):
+        def __init__(self):
+            super().__init__()
+            self.batch_sizes = []
+
+        def on_samples(self, thread, samples):
+            self.batch_sizes.append(len(samples))
+            return super().on_samples(thread, samples)
+
+    hook = BatchHook()
+
+    def main(t):
+        yield Work(L1, MS(35))
+
+    cfg = SimConfig(sample_period_ns=MS(1), sample_batch=10, sample_phase_jitter=False)
+    Program(main, config=cfg).run(hook=hook)
+    # three full batches of >=10 plus the exit drain
+    assert all(b >= 10 for b in hook.batch_sizes[:3])
+    assert sum(hook.batch_sizes) == 35

@@ -1,0 +1,95 @@
+"""Core scheduling: oversubscription, fairness, quantum, frames."""
+
+from repro.sim import MS, US, Join, PopFrame, Program, PushFrame, SimConfig, Spawn, Work, call, line
+
+L = line("f.c:1")
+
+
+def test_oversubscription_round_robin():
+    """More threads than cores: all make progress; total time ~ cpu/cores."""
+    done = []
+
+    def main(t):
+        def worker(t2, wid):
+            yield Work(L, MS(4))
+            done.append(wid)
+
+        ws = []
+        for wid in range(6):
+            def body(t2, wid=wid):
+                yield from worker(t2, wid)
+            ws.append((yield Spawn(body)))
+        for w in ws:
+            yield Join(w)
+
+    r = Program(main, config=SimConfig(cores=2, quantum_ns=MS(1))).run()
+    assert sorted(done) == list(range(6))
+    # 24 ms of CPU on 2 cores (main is idle/blocked) => ~12 ms wall
+    assert MS(11.9) <= r.runtime_ns <= MS(12.5)
+
+
+def test_fairness_interleaves_under_contention():
+    """With one core and a short quantum, two long jobs finish close together."""
+    finish = {}
+
+    def main(t):
+        def worker(t2, wid):
+            yield Work(L, MS(5))
+            finish[wid] = t2
+
+        a = yield Spawn(lambda t2: worker(t2, "a"))
+        b = yield Spawn(lambda t2: worker(t2, "b"))
+        yield Join(a)
+        yield Join(b)
+
+    r = Program(main, config=SimConfig(cores=1, quantum_ns=MS(1))).run()
+    assert r.runtime_ns >= MS(10)
+
+
+def test_call_frames_tracked():
+    seen = {}
+
+    def main(t):
+        def inner():
+            yield Work(L, US(10))
+            seen["func"] = t.current_func()
+            seen["chain"] = t.callchain()
+
+        yield from call("outer", call("inner", inner(), line("o.c:5")), line("m.c:9"))
+        seen["after"] = t.current_func()
+
+    Program(main).run()
+    assert seen["func"] == "inner"
+    # innermost-first: active line, then the callsites
+    assert seen["chain"] == (L, line("o.c:5"), line("m.c:9"))
+    assert seen["after"] == ""
+
+
+def test_unbalanced_pop_frame_raises():
+    import pytest
+
+    from repro.sim.errors import SimulationError
+
+    def main(t):
+        yield PopFrame()
+
+    with pytest.raises(SimulationError):
+        Program(main).run()
+
+
+def test_quantum_does_not_change_total_time():
+    def build(quantum):
+        def main(t):
+            def worker(t2):
+                yield Work(L, MS(6))
+
+            a = yield Spawn(worker)
+            b = yield Spawn(worker)
+            yield Join(a)
+            yield Join(b)
+
+        return Program(main, config=SimConfig(cores=2, quantum_ns=quantum))
+
+    fine = build(US(100)).run().runtime_ns
+    coarse = build(MS(2)).run().runtime_ns
+    assert abs(fine - coarse) <= US(20)

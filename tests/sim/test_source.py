@@ -1,0 +1,62 @@
+"""Source lines, parsing, and scope semantics (§3.1, §3.4.2)."""
+
+import pytest
+
+from repro.sim.source import LIBC_FILE, RUNTIME_LINE, Scope, SourceLine, line
+
+
+def test_line_parsing():
+    src = line("hashtable.c:217")
+    assert src.file == "hashtable.c"
+    assert src.lineno == 217
+    assert str(src) == "hashtable.c:217"
+
+
+def test_line_parsing_rejects_garbage():
+    with pytest.raises(ValueError):
+        line("no-line-number")
+    with pytest.raises(ValueError):
+        line("file.c:notanumber")
+
+
+def test_lines_are_hashable_and_ordered():
+    a, b = line("a.c:1"), line("a.c:2")
+    assert a < b
+    assert len({a, b, line("a.c:1")}) == 2
+
+
+def test_default_scope_is_main_executable():
+    scope = Scope.all_main()
+    assert scope.contains(line("anything.c:1"))
+    assert not scope.contains(RUNTIME_LINE)
+    assert not scope.contains(SourceLine(LIBC_FILE, 10))
+
+
+def test_only_scope_restricts_to_files():
+    scope = Scope.only("ferret-parallel.c")
+    assert scope.contains(line("ferret-parallel.c:320"))
+    assert not scope.contains(line("cass/query.c:1502"))
+
+
+def test_excluding_scope():
+    scope = Scope.excluding("vendored.c")
+    assert scope.contains(line("mine.c:5"))
+    assert not scope.contains(line("vendored.c:5"))
+
+
+def test_callchain_walk_attributes_to_first_in_scope():
+    """§3.4.2: out-of-scope samples attribute to the last in-scope callsite."""
+    scope = Scope.only("main.c")
+    chain = (line("strlen.c:12"), line("vfprintf.c:88"), line("main.c:42"))
+    assert scope.first_in_scope(chain) == line("main.c:42")
+
+
+def test_callchain_walk_none_when_fully_out_of_scope():
+    scope = Scope.only("main.c")
+    assert scope.first_in_scope((line("a.c:1"), line("b.c:2"))) is None
+
+
+def test_callchain_walk_prefers_innermost():
+    scope = Scope.all_main()
+    chain = (line("inner.c:1"), line("outer.c:2"))
+    assert scope.first_in_scope(chain) == line("inner.c:1")

@@ -1,0 +1,74 @@
+"""TraceObserver: bounded execution traces."""
+
+from repro.sim import MS, US, Join, Program, Progress, Spawn, Work, call, line
+from repro.sim.trace import TraceObserver
+
+L = line("t.c:1")
+
+
+def _program():
+    def main(t):
+        def worker(t2):
+            def fn():
+                yield Work(L, US(500))
+
+            for _ in range(4):
+                yield from call("fn", fn())
+                yield Progress("tick")
+
+        a = yield Spawn(worker, "w0")
+        b = yield Spawn(worker, "w1")
+        yield Join(a)
+        yield Join(b)
+
+    return Program(main)
+
+
+def test_trace_records_lifecycle_and_progress():
+    tr = TraceObserver(record_work=False)
+    _program().run(observers=[tr])
+    kinds = [e.kind for e in tr.events]
+    assert kinds.count("spawn") == 3  # main + 2 workers
+    assert kinds.count("exit") == 3
+    assert tr.progress_counts["tick"] == 8
+    assert tr.func_calls["fn"] == 8
+    assert tr.line_cpu[L] == 8 * US(500)
+
+
+def test_trace_events_are_time_ordered():
+    tr = TraceObserver()
+    _program().run(observers=[tr])
+    times = [e.time for e in tr.events]
+    assert times == sorted(times)
+
+
+def test_trace_truncation_bound():
+    tr = TraceObserver(max_events=5)
+    _program().run(observers=[tr])
+    assert len(tr.events) == 5
+    assert tr.truncated
+    # aggregates keep counting past the event cap
+    assert tr.progress_counts["tick"] == 8
+
+
+def test_trace_summary_and_csv():
+    tr = TraceObserver()
+    _program().run(observers=[tr])
+    summary = tr.summary()
+    assert "hottest lines" in summary
+    assert "t.c:1" in summary
+    csv = tr.to_csv()
+    assert csv.startswith("time_ns,kind,thread,detail")
+    assert "progress" in csv
+
+
+def test_trace_samples_optional():
+    from repro.sim import SimConfig
+
+    tr = TraceObserver(record_work=False, record_samples=True)
+
+    def main(t):
+        yield Work(L, MS(5))
+
+    Program(main, config=SimConfig(sample_period_ns=MS(1))).run(observers=[tr])
+    assert any(e.kind == "sample" for e in tr.events)

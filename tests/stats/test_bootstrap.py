@@ -1,0 +1,71 @@
+"""Efron bootstrap: SE, CI, and the Table 3 speedup statistics."""
+
+import random
+from statistics import mean, stdev
+
+import pytest
+
+from repro.stats.bootstrap import bootstrap_ci, bootstrap_se, speedup_stats
+
+
+def test_se_close_to_analytic_for_the_mean():
+    rng = random.Random(7)
+    data = [rng.gauss(100, 10) for _ in range(100)]
+    se = bootstrap_se(data, n_boot=800, seed=1)
+    analytic = stdev(data) / len(data) ** 0.5
+    assert se == pytest.approx(analytic, rel=0.2)
+
+
+def test_se_zero_for_tiny_samples():
+    assert bootstrap_se([5.0]) == 0.0
+    assert bootstrap_se([]) == 0.0
+
+
+def test_se_deterministic_given_seed():
+    data = [1.0, 2.0, 3.0, 4.0]
+    assert bootstrap_se(data, seed=3) == bootstrap_se(data, seed=3)
+    assert bootstrap_se(data, seed=3) != bootstrap_se(data, seed=4)
+
+
+def test_ci_contains_mean_for_well_behaved_data():
+    rng = random.Random(11)
+    data = [rng.gauss(50, 5) for _ in range(60)]
+    lo, hi = bootstrap_ci(data, n_boot=500, seed=2)
+    assert lo < mean(data) < hi
+    assert hi - lo < 5
+
+
+def test_ci_validates_input():
+    with pytest.raises(ValueError):
+        bootstrap_ci([])
+    assert bootstrap_ci([3.0]) == (3.0, 3.0)
+
+
+def test_speedup_stats_table3_semantics():
+    """speedup = (t0 - t_opt)/t0, per the Table 3 caption."""
+    baseline = [100.0, 101.0, 99.0, 100.5, 99.5] * 2
+    optimized = [90.0, 91.0, 89.0, 90.5, 89.5] * 2
+    s = speedup_stats(baseline, optimized, seed=5)
+    assert s.speedup == pytest.approx(0.10, abs=0.005)
+    assert s.speedup_pct == pytest.approx(10.0, abs=0.5)
+    assert 0 < s.se < 0.02
+    assert s.significant(alpha=0.001)
+    assert s.n_baseline == s.n_optimized == 10
+
+
+def test_speedup_stats_no_change_not_significant():
+    runs = [100.0 + 0.1 * i for i in range(10)]
+    s = speedup_stats(runs, list(runs), seed=6)
+    assert abs(s.speedup) < 0.01
+    assert not s.significant()
+
+
+def test_speedup_stats_validates():
+    with pytest.raises(ValueError):
+        speedup_stats([], [1.0])
+
+
+def test_speedup_str_rendering():
+    s = speedup_stats([100.0] * 5, [90.0] * 5)
+    text = str(s)
+    assert "%" in text and "p=" in text

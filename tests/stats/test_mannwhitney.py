@@ -1,0 +1,58 @@
+"""Mann-Whitney U: cross-checked against scipy."""
+
+import random
+
+import pytest
+import scipy.stats
+
+from repro.stats.mannwhitney import mann_whitney_u
+
+
+def scipy_p(x, y, alternative):
+    return scipy.stats.mannwhitneyu(
+        x, y, alternative=alternative, method="asymptotic"
+    ).pvalue
+
+
+@pytest.mark.parametrize("alternative", ["less", "greater", "two-sided"])
+def test_matches_scipy_no_ties(alternative):
+    rng = random.Random(1)
+    x = [rng.gauss(10, 2) for _ in range(12)]
+    y = [rng.gauss(12, 2) for _ in range(10)]
+    ours = mann_whitney_u(x, y, alternative=alternative).p_value
+    assert ours == pytest.approx(scipy_p(x, y, alternative), rel=0.02)
+
+
+def test_matches_scipy_with_ties():
+    x = [1, 2, 2, 3, 4, 4, 4]
+    y = [2, 3, 3, 4, 5, 6]
+    ours = mann_whitney_u(x, y, alternative="less").p_value
+    assert ours == pytest.approx(scipy_p(x, y, "less"), rel=0.02)
+
+
+def test_clear_separation_is_significant():
+    x = [1.0 + i * 0.01 for i in range(10)]   # small values
+    y = [2.0 + i * 0.01 for i in range(10)]   # big values
+    res = mann_whitney_u(x, y, alternative="less")
+    assert res.p_value < 0.001  # the paper's alpha
+
+
+def test_identical_samples_not_significant():
+    x = [5.0] * 8
+    y = [5.0] * 8
+    res = mann_whitney_u(x, y, alternative="less")
+    assert res.p_value >= 0.5
+
+
+def test_direction_matters():
+    small = [1, 2, 3, 4, 5]
+    big = [10, 11, 12, 13, 14]
+    assert mann_whitney_u(small, big, alternative="less").p_value < 0.01
+    assert mann_whitney_u(small, big, alternative="greater").p_value > 0.9
+
+
+def test_validates_inputs():
+    with pytest.raises(ValueError):
+        mann_whitney_u([], [1])
+    with pytest.raises(ValueError):
+        mann_whitney_u([1], [2], alternative="sideways")

@@ -1,0 +1,46 @@
+"""OLS regression: cross-checked against scipy.stats.linregress."""
+
+import random
+
+import pytest
+import scipy.stats
+
+from repro.stats.regression import linear_regression
+
+
+def test_exact_line():
+    xs = [0.0, 1.0, 2.0, 3.0]
+    ys = [1.0, 3.0, 5.0, 7.0]
+    r = linear_regression(xs, ys)
+    assert r.slope == pytest.approx(2.0)
+    assert r.intercept == pytest.approx(1.0)
+    assert r.r2 == pytest.approx(1.0)
+    assert r.slope_se == pytest.approx(0.0, abs=1e-12)
+    assert r.predict(10) == pytest.approx(21.0)
+
+
+def test_matches_scipy_on_noisy_data():
+    rng = random.Random(3)
+    xs = [i / 10 for i in range(30)]
+    ys = [2.5 * x + 1.0 + rng.gauss(0, 0.3) for x in xs]
+    ours = linear_regression(xs, ys)
+    theirs = scipy.stats.linregress(xs, ys)
+    assert ours.slope == pytest.approx(theirs.slope)
+    assert ours.intercept == pytest.approx(theirs.intercept)
+    assert ours.slope_se == pytest.approx(theirs.stderr, rel=1e-6)
+    assert ours.r2 == pytest.approx(theirs.rvalue**2, rel=1e-6)
+
+
+def test_validates_input():
+    with pytest.raises(ValueError):
+        linear_regression([1.0], [2.0])
+    with pytest.raises(ValueError):
+        linear_regression([1.0, 1.0], [2.0, 3.0])  # vertical
+    with pytest.raises(ValueError):
+        linear_regression([1, 2, 3], [1, 2])
+
+
+def test_flat_data_r2_is_one_by_convention():
+    r = linear_regression([0, 1, 2], [5.0, 5.0, 5.0])
+    assert r.slope == pytest.approx(0.0)
+    assert r.r2 == 1.0
