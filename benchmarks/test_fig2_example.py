@@ -37,7 +37,11 @@ def test_fig2a_gprof_profile(benchmark):
 
 
 def test_fig2b_causal_profile(benchmark):
-    spec = build_example(rounds=300)
+    from repro.apps import registry
+    from repro.harness.parallel import AUTO_JOBS
+
+    # registry-built so the 30 profiling runs can fan out over workers
+    spec = registry.build("example", rounds=300)
     cfg = CozConfig(
         scope=spec.scope,
         experiment_duration_ns=MS(150),
@@ -46,7 +50,7 @@ def test_fig2b_causal_profile(benchmark):
     )
 
     def regen():
-        return profile_app(spec, runs=30, coz_config=cfg)
+        return profile_app(spec, runs=30, coz_config=cfg, jobs=AUTO_JOBS)
 
     out = run_once(benchmark, regen)
     print()

@@ -9,21 +9,23 @@ extraction to the other stages (Figure 5's colors).
 import pytest
 
 from benchmarks.conftest import run_once
+from repro.apps import registry
 from repro.apps.ferret import (
     LINE_EXTRACT,
     LINE_INDEX,
     LINE_RANK,
     LINE_SEG,
-    build_ferret,
 )
 from repro.core.config import CozConfig
 from repro.core.report import render_profile
+from repro.harness.parallel import AUTO_JOBS
 from repro.harness.runner import profile_app
 from repro.sim.clock import MS
 
 
 def test_fig6_ferret_causal_profile(benchmark):
-    spec = build_ferret(n_queries=1500)
+    # registry-built so the profiling runs can fan out over worker processes
+    spec = registry.build("ferret", n_queries=1500)
     cfg = CozConfig(
         scope=spec.scope,
         experiment_duration_ns=MS(25),
@@ -32,7 +34,7 @@ def test_fig6_ferret_causal_profile(benchmark):
     )
 
     def regen():
-        return profile_app(spec, runs=14, coz_config=cfg)
+        return profile_app(spec, runs=14, coz_config=cfg, jobs=AUTO_JOBS)
 
     out = run_once(benchmark, regen)
     print()

@@ -10,24 +10,21 @@ startup, and the total stays moderate.
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.apps.blackscholes import build_blackscholes
-from repro.apps.dedup import build_dedup
-from repro.apps.ferret import build_ferret
-from repro.apps.fluidanimate import build_fluidanimate
-from repro.apps.streamcluster import build_streamcluster
-from repro.apps.swaptions import build_swaptions
+from repro.apps import registry
 from repro.core.config import CozConfig
 from repro.harness.overhead import measure_overhead
+from repro.harness.parallel import AUTO_JOBS
 from repro.harness.tables import render_figure9
 from repro.sim.clock import MS
 
+#: registry-built so each four-configuration protocol can fan its runs out
 SPECS = [
-    build_blackscholes(n_rounds=150),
-    build_dedup("original", n_blocks=1200),
-    build_ferret(n_queries=600),
-    build_fluidanimate(n_phases=100),
-    build_streamcluster(n_phases=100),
-    build_swaptions(n_iters=250),
+    registry.build("blackscholes", n_rounds=150),
+    registry.build("dedup", n_blocks=1200),
+    registry.build("ferret", n_queries=600),
+    registry.build("fluidanimate", n_phases=100),
+    registry.build("streamcluster", n_phases=100),
+    registry.build("swaptions", n_iters=250),
 ]
 
 
@@ -36,7 +33,7 @@ def test_fig9_overhead_breakdown(benchmark):
         rows = []
         for spec in SPECS:
             cfg = CozConfig(experiment_duration_ns=MS(20))
-            rows.append(measure_overhead(spec, coz_config=cfg, runs=2))
+            rows.append(measure_overhead(spec, coz_config=cfg, runs=2, jobs=AUTO_JOBS))
         return rows
 
     rows = run_once(benchmark, regen)

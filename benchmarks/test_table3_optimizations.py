@@ -14,60 +14,39 @@ methodology.  Paper values:
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.apps.blackscholes import build_blackscholes
-from repro.apps.dedup import build_dedup
-from repro.apps.ferret import DEFAULT_THREADS, OPTIMIZED_THREADS, build_ferret
-from repro.apps.fluidanimate import build_fluidanimate
-from repro.apps.memcached import build_memcached
-from repro.apps.sqlite import build_sqlite
-from repro.apps.streamcluster import build_streamcluster
-from repro.apps.swaptions import build_swaptions
-from repro.harness.comparison import compare_builds
+from repro.harness.comparison import compare_app
+from repro.harness.parallel import AUTO_JOBS
 from repro.harness.tables import render_table3
 
-#: (name, baseline factory, optimized factory, paper speedup %)
+#: (registry name, builder kwargs, paper speedup %) — each app's baseline
+#: and optimized variants come from the registry, so the 10 runs per
+#: variant can fan out over worker processes
 CASES = [
-    ("blackscholes",
-     lambda: build_blackscholes(False, n_rounds=150),
-     lambda: build_blackscholes(True, n_rounds=150), 2.56),
-    ("dedup",
-     lambda: build_dedup("original", n_blocks=1500),
-     lambda: build_dedup("xor", n_blocks=1500), 8.95),
-    ("ferret",
-     lambda: build_ferret(DEFAULT_THREADS, n_queries=800),
-     lambda: build_ferret(OPTIMIZED_THREADS, n_queries=800), 21.27),
-    ("fluidanimate",
-     lambda: build_fluidanimate(False, n_phases=120),
-     lambda: build_fluidanimate(True, n_phases=120), 37.5),
-    ("streamcluster",
-     lambda: build_streamcluster(False, n_phases=120),
-     lambda: build_streamcluster(True, n_phases=120), 68.4),
-    ("swaptions",
-     lambda: build_swaptions(False, n_iters=250),
-     lambda: build_swaptions(True, n_iters=250), 15.8),
-    ("memcached",
-     lambda: build_memcached(False, n_requests=8000),
-     lambda: build_memcached(True, n_requests=8000), 9.39),
-    ("sqlite",
-     lambda: build_sqlite(False, inserts_per_thread=800),
-     lambda: build_sqlite(True, inserts_per_thread=800), 25.6),
+    ("blackscholes", {"n_rounds": 150}, 2.56),
+    ("dedup", {"n_blocks": 1500}, 8.95),
+    ("ferret", {"n_queries": 800}, 21.27),
+    ("fluidanimate", {"n_phases": 120}, 37.5),
+    ("streamcluster", {"n_phases": 120}, 68.4),
+    ("swaptions", {"n_iters": 250}, 15.8),
+    ("memcached", {"n_requests": 8000}, 9.39),
+    ("sqlite", {"inserts_per_thread": 800}, 25.6),
 ]
 
 
 def test_table3_summary_of_optimization_results(benchmark):
     def regen():
         rows = []
-        for name, base, opt, _paper in CASES:
-            rows.append(compare_builds(name, base().build, opt().build, runs=10))
+        for name, kwargs, _paper in CASES:
+            rows.append(compare_app(name, runs=10, jobs=AUTO_JOBS, **kwargs))
         return rows
 
     rows = run_once(benchmark, regen)
     print()
     print(render_table3(rows))
-    print("paper:", ", ".join(f"{n}={p}%" for n, _, _, p in CASES))
+    print("paper:", ", ".join(f"{n}={p}%" for n, _, p in CASES))
 
     by_name = {r.name: r for r in rows}
-    for name, _, _, paper_pct in CASES:
+    for name, _, paper_pct in CASES:
         r = by_name[name]
         # shape: within a few points of the paper's value...
         assert r.speedup_pct == pytest.approx(paper_pct, abs=max(2.0, paper_pct * 0.35)), name

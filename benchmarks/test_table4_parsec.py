@@ -9,9 +9,11 @@ progress point on the listed line) and check that Coz ranks the paper's
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.apps.parsec_misc import TABLE4, build_parsec_app
+from repro.apps import registry
+from repro.apps.parsec_misc import TABLE4
 from repro.core.analysis import top_line
 from repro.core.config import CozConfig
+from repro.harness.parallel import AUTO_JOBS
 from repro.harness.runner import profile_app
 from repro.sim.clock import MS
 
@@ -20,14 +22,14 @@ def test_table4_top_opportunities(benchmark):
     def regen():
         results = []
         for entry in TABLE4:
-            spec = build_parsec_app(entry.name, n_items=800)
+            spec = registry.build(entry.name, n_items=800)
             cfg = CozConfig(
                 scope=spec.scope,
                 experiment_duration_ns=MS(25),
                 speedup_values=(0, 20, 40, 60),
                 zero_speedup_prob=0.4,
             )
-            out = profile_app(spec, runs=6, coz_config=cfg)
+            out = profile_app(spec, runs=6, coz_config=cfg, jobs=AUTO_JOBS)
             results.append((entry, out.profile))
         return results
 

@@ -40,6 +40,13 @@ from repro.core import (
     to_coz_format,
     top_line,
 )
+from repro.harness.runner import (
+    ProfileOutcome,
+    ProfileRequest,
+    profile_app,
+    profile_program,
+    run_profile_session,
+)
 from repro.sim import (
     MS,
     SEC,
@@ -63,7 +70,12 @@ __all__ = [
     "LatencySpec",
     "LineProfile",
     "ProfileData",
+    "ProfileOutcome",
+    "ProfileRequest",
     "ProgressPoint",
+    "profile_app",
+    "profile_program",
+    "run_profile_session",
     "build_causal_profile",
     "predict_program_speedup",
     "render_line_graph",

@@ -6,8 +6,37 @@ progress points and scope used in the paper's case study.  Builders accept
 an ``optimized`` flag (and app-specific knobs) to produce the paper's
 post-optimization variants, and a ``line_speedups`` mapping to scale the
 cost of specific lines (the §4.3 accuracy methodology).
+
+All bundled apps are addressable by name through :mod:`repro.apps.registry`
+(re-exported here): ``build("ferret", optimized=True)`` returns a fresh
+spec stamped with a picklable :class:`AppRef`, which is what lets the
+parallel profiling executor rebuild apps inside worker processes.
 """
 
+from repro.apps import registry
+from repro.apps.registry import (
+    AppEntry,
+    AppRef,
+    UnknownAppError,
+    build,
+    entries,
+    get,
+    names,
+    register,
+    unregister,
+)
 from repro.apps.spec import AppSpec
 
-__all__ = ["AppSpec"]
+__all__ = [
+    "AppSpec",
+    "AppEntry",
+    "AppRef",
+    "UnknownAppError",
+    "registry",
+    "register",
+    "unregister",
+    "get",
+    "build",
+    "names",
+    "entries",
+]

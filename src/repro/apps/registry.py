@@ -1,0 +1,195 @@
+"""First-class application registry: the bundled apps, addressable by name.
+
+Historically the CLI kept a private ``name -> (builder, has_optimized)``
+tuple table.  The registry promotes that table to a public API with three
+jobs:
+
+* **discovery** — :func:`names` / :func:`entries` enumerate every bundled
+  app (and any third-party app that called :func:`register`);
+* **construction** — :func:`build` produces a fresh
+  :class:`~repro.apps.spec.AppSpec` from a name, an ``optimized`` flag, and
+  builder keyword arguments;
+* **provenance** — every spec built here is stamped with a picklable
+  :class:`AppRef` so *worker processes can rebuild the app by name*.  App
+  specs carry closures (their ``build`` factories) which do not pickle; an
+  ``AppRef`` is just ``(name, optimized, kwargs)`` and crosses process
+  boundaries freely.  This is what makes the parallel profiling executor
+  (:mod:`repro.harness.parallel`) possible.
+
+Third-party apps register themselves with::
+
+    from repro.apps import registry
+
+    def build_myapp(optimized=False, **knobs) -> AppSpec: ...
+
+    registry.register("myapp", build_myapp, has_optimized=True)
+
+Builders registered as module-level callables work with any multiprocessing
+start method; lambdas/closures still work under ``fork`` (the default on
+Linux) because workers inherit the registry state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.apps.spec import AppSpec
+
+
+class UnknownAppError(KeyError):
+    """Raised when a name is not in the registry."""
+
+    def __init__(self, name: str, available: List[str]) -> None:
+        super().__init__(name)
+        self.name = name
+        self.available = available
+
+    def __str__(self) -> str:
+        return f"unknown app {self.name!r}; available: {', '.join(self.available)}"
+
+
+@dataclass(frozen=True)
+class AppEntry:
+    """One registered application."""
+
+    name: str
+    builder: Callable[..., AppSpec]
+    has_optimized: bool = False
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class AppRef:
+    """A picklable reference to a registry-buildable app.
+
+    ``kwargs`` is stored as a sorted tuple of ``(key, value)`` pairs so the
+    ref is hashable; values must themselves be picklable for the ref to
+    cross process boundaries (all bundled-app knobs are).
+    """
+
+    name: str
+    optimized: bool = False
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def build(self) -> AppSpec:
+        """Rebuild the referenced spec (used on the worker side)."""
+        return build(self.name, optimized=self.optimized, **dict(self.kwargs))
+
+
+_REGISTRY: Dict[str, AppEntry] = {}
+
+
+def register(
+    name: str,
+    builder: Callable[..., AppSpec],
+    has_optimized: bool = False,
+    description: str = "",
+    replace: bool = False,
+) -> AppEntry:
+    """Register an app builder under ``name``.
+
+    ``builder()`` must return a fresh :class:`AppSpec`; when
+    ``has_optimized`` it must also accept ``optimized=True``.  Registering
+    an existing name raises unless ``replace=True``.
+    """
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"app {name!r} is already registered (use replace=True)")
+    entry = AppEntry(
+        name=name, builder=builder, has_optimized=has_optimized,
+        description=description,
+    )
+    _REGISTRY[name] = entry
+    return entry
+
+
+def unregister(name: str) -> None:
+    """Remove an app from the registry (no-op if absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> AppEntry:
+    """Look up one entry, raising :class:`UnknownAppError` if absent."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownAppError(name, names()) from None
+
+
+def names() -> List[str]:
+    """Sorted names of every registered app."""
+    return sorted(_REGISTRY)
+
+
+def entries() -> List[AppEntry]:
+    """Every registered entry, sorted by name."""
+    return [_REGISTRY[n] for n in names()]
+
+
+def build(name: str, optimized: bool = False, **kwargs: Any) -> AppSpec:
+    """Build a fresh spec by name, stamped with its :class:`AppRef`.
+
+    ``kwargs`` are forwarded to the registered builder (e.g.
+    ``build("ferret", n_queries=300)``).  ``optimized=True`` selects the
+    app's post-optimization variant and raises :class:`ValueError` for apps
+    without one.
+    """
+    entry = get(name)
+    if optimized and not entry.has_optimized:
+        raise ValueError(f"{name} has no optimized variant")
+    spec = entry.builder(optimized=True, **kwargs) if optimized else entry.builder(**kwargs)
+    spec.registry_ref = AppRef(
+        name=name, optimized=optimized, kwargs=tuple(sorted(kwargs.items())),
+    )
+    return spec
+
+
+# -- bundled apps ------------------------------------------------------------------
+
+def _dedup_builder(optimized: bool = False, **kwargs: Any) -> AppSpec:
+    from repro.apps.dedup import build_dedup
+
+    return build_dedup("xor" if optimized else "original", **kwargs)
+
+
+def _ferret_builder(optimized: bool = False, **kwargs: Any) -> AppSpec:
+    from repro.apps.ferret import OPTIMIZED_THREADS, build_ferret
+
+    kwargs.setdefault("threads", OPTIMIZED_THREADS if optimized else (8, 8, 8, 8))
+    return build_ferret(**kwargs)
+
+
+def _register_builtin() -> None:
+    from repro.apps.blackscholes import build_blackscholes
+    from repro.apps.example import build_example
+    from repro.apps.fluidanimate import build_fluidanimate
+    from repro.apps.memcached import build_memcached
+    from repro.apps.parsec_misc import TABLE4, build_parsec_app
+    from repro.apps.sqlite import build_sqlite
+    from repro.apps.streamcluster import build_streamcluster
+    from repro.apps.swaptions import build_swaptions
+
+    register("example", build_example, description="Figure 1 two-thread example")
+    register("dedup", _dedup_builder, has_optimized=True,
+             description="dedup pipeline (§4.2.1)")
+    register("ferret", _ferret_builder, has_optimized=True,
+             description="ferret image-search pipeline (§4.2.2)")
+    register("sqlite", build_sqlite, has_optimized=True,
+             description="SQLite indirect-call hotspot (§4.2.3)")
+    register("memcached", build_memcached, has_optimized=True,
+             description="Memcached CAS contention (§4.2.4)")
+    register("fluidanimate", build_fluidanimate, has_optimized=True,
+             description="fluidanimate custom barrier (§4.2.5)")
+    register("streamcluster", build_streamcluster, has_optimized=True,
+             description="streamcluster barrier (§4.2.5)")
+    register("blackscholes", build_blackscholes, has_optimized=True,
+             description="blackscholes unrolled math (§4.2.6)")
+    register("swaptions", build_swaptions, has_optimized=True,
+             description="swaptions HJM kernel (§4.2.7)")
+    for entry in TABLE4:
+        register(entry.name, partial(build_parsec_app, entry.name),
+                 description="Table 4 PARSEC model")
+
+
+_register_builtin()

@@ -31,6 +31,10 @@ class AppSpec:
     latency_specs: List[LatencySpec] = field(default_factory=list)
     #: machine configuration this app is meant to run on
     sim_config: Optional[SimConfig] = None
+    #: provenance stamp set by :func:`repro.apps.registry.build`: a picklable
+    #: :class:`~repro.apps.registry.AppRef` that lets worker processes rebuild
+    #: this spec by name (``build`` itself is a closure and does not pickle)
+    registry_ref: Optional[object] = None
 
     def line(self, key: str) -> SourceLine:
         return self.lines[key]

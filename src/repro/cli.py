@@ -6,78 +6,44 @@ Subcommands:
   the ranked profile (the simulator's ``coz run --- <program>``);
 * ``compare <app>`` — Table 3 style before/after optimization comparison;
 * ``overhead <app>`` — Figure 9 style overhead breakdown;
-* ``list`` — list the bundled applications.
+* ``list`` — list the registered applications.
+
+Apps are resolved through the public :mod:`repro.apps.registry`; the CLI is
+a thin consumer, and third-party apps that call ``registry.register`` show
+up in every subcommand.  ``profile``, ``compare``, and ``overhead`` accept
+``--jobs N`` to fan independent runs out over worker processes (``0``, the
+default, auto-sizes to ``min(runs, cpu count)``; ``1`` forces serial).
+Parallel and serial sessions produce identical results.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional, Tuple
+from typing import Optional
 
+from repro.apps import registry
 from repro.apps.spec import AppSpec
 from repro.core.config import CozConfig
 from repro.core.report import render_line_graph, render_profile, to_coz_format
 from repro.harness.comparison import compare_builds
 from repro.harness.overhead import measure_overhead
-from repro.harness.runner import profile_app
+from repro.harness.runner import ProfileRequest, run_profile_session
 from repro.sim.clock import MS
 
 
-def _registry() -> Dict[str, Tuple[Callable[..., AppSpec], bool]]:
-    """name -> (builder, has_optimized_variant)."""
-    from repro.apps.blackscholes import build_blackscholes
-    from repro.apps.dedup import build_dedup
-    from repro.apps.example import build_example
-    from repro.apps.ferret import OPTIMIZED_THREADS, build_ferret
-    from repro.apps.fluidanimate import build_fluidanimate
-    from repro.apps.memcached import build_memcached
-    from repro.apps.parsec_misc import TABLE4, build_parsec_app
-    from repro.apps.sqlite import build_sqlite
-    from repro.apps.streamcluster import build_streamcluster
-    from repro.apps.swaptions import build_swaptions
-
-    registry: Dict[str, Tuple[Callable[..., AppSpec], bool]] = {
-        "example": (build_example, False),
-        "dedup": (lambda optimized=False: build_dedup("xor" if optimized else "original"), True),
-        "ferret": (
-            lambda optimized=False: build_ferret(
-                threads=OPTIMIZED_THREADS if optimized else (8, 8, 8, 8)
-            ),
-            True,
-        ),
-        "sqlite": (build_sqlite, True),
-        "memcached": (build_memcached, True),
-        "fluidanimate": (build_fluidanimate, True),
-        "streamcluster": (build_streamcluster, True),
-        "blackscholes": (build_blackscholes, True),
-        "swaptions": (build_swaptions, True),
-    }
-    for entry in TABLE4:
-        registry[entry.name] = (
-            lambda name=entry.name: build_parsec_app(name),
-            False,
-        )
-    return registry
-
-
 def _build(name: str, optimized: bool = False) -> AppSpec:
-    registry = _registry()
-    if name not in registry:
-        raise SystemExit(
-            f"unknown app {name!r}; available: {', '.join(sorted(registry))}"
-        )
-    builder, has_opt = registry[name]
-    if optimized and not has_opt:
-        raise SystemExit(f"{name} has no optimized variant")
-    return builder(optimized=True) if optimized else builder()
+    try:
+        return registry.build(name, optimized=optimized)
+    except registry.UnknownAppError as exc:
+        raise SystemExit(str(exc))
+    except ValueError as exc:  # e.g. no optimized variant
+        raise SystemExit(str(exc))
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
-    registry = _registry()
-    for name in sorted(registry):
-        _, has_opt = registry[name]
-        print(f"{name:<15} {'(+ optimized variant)' if has_opt else ''}")
+    for entry in registry.entries():
+        print(f"{entry.name:<15} {'(+ optimized variant)' if entry.has_optimized else ''}")
     return 0
 
 
@@ -88,7 +54,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
         experiment_duration_ns=MS(args.experiment_ms),
         speedup_values=tuple(range(0, 101, args.speedup_step)),
     )
-    outcome = profile_app(spec, runs=args.runs, coz_config=cfg)
+    request = ProfileRequest(runs=args.runs, coz_config=cfg, jobs=args.jobs)
+    outcome = run_profile_session(spec, request)
     print(f"{outcome.experiment_count} experiments over {args.runs} runs")
     print(render_profile(outcome.profile, top=args.top))
     if args.graphs:
@@ -104,16 +71,34 @@ def cmd_profile(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     base = _build(args.app, optimized=False)
     opt = _build(args.app, optimized=True)
-    cmp_result = compare_builds(args.app, base.build, opt.build, runs=args.runs)
+    cmp_result = compare_builds(
+        args.app, base.build, opt.build, runs=args.runs, jobs=args.jobs,
+        baseline_ref=base.registry_ref, optimized_ref=opt.registry_ref,
+    )
     print(cmp_result.row())
     return 0
 
 
 def cmd_overhead(args: argparse.Namespace) -> int:
     spec = _build(args.app)
-    breakdown = measure_overhead(spec, runs=args.runs)
+    breakdown = measure_overhead(spec, runs=args.runs, jobs=args.jobs)
     print(breakdown.row())
     return 0
+
+
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 = auto)")
+    return jobs
+
+
+def _add_jobs_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs", type=_jobs_arg, default=0, metavar="N",
+        help="worker processes for independent runs "
+             "(0 = auto: min(runs, cpu count); 1 = serial)",
+    )
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -123,7 +108,7 @@ def main(argv: Optional[list] = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list bundled applications").set_defaults(fn=cmd_list)
+    sub.add_parser("list", help="list registered applications").set_defaults(fn=cmd_list)
 
     p = sub.add_parser("profile", help="causal-profile an app")
     p.add_argument("app")
@@ -134,16 +119,19 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("--graphs", type=int, default=0, help="render N ASCII graphs")
     p.add_argument("--optimized", action="store_true")
     p.add_argument("--coz-output", help="write raw experiments in Coz's file format")
+    _add_jobs_flag(p)
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("compare", help="before/after optimization (Table 3 row)")
     p.add_argument("app")
     p.add_argument("--runs", type=int, default=10)
+    _add_jobs_flag(p)
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("overhead", help="overhead breakdown (Figure 9 bar)")
     p.add_argument("app")
     p.add_argument("--runs", type=int, default=3)
+    _add_jobs_flag(p)
     p.set_defaults(fn=cmd_overhead)
 
     args = parser.parse_args(argv)

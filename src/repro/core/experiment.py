@@ -11,7 +11,7 @@ and the per-progress-point visit deltas.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.sim.source import SourceLine
 
@@ -81,3 +81,36 @@ class ExperimentResult:
             return None
         lam = arrivals / eff            # arrival rate per effective ns
         return self.in_flight(begin, end) / lam
+
+    # -- wire format (cross-process result transfer) -------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; every field is an int, str, or str-keyed dict."""
+        return {
+            "line": [self.line.file, self.line.lineno],
+            "speedup_pct": self.speedup_pct,
+            "delay_ns": self.delay_ns,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "delay_count": self.delay_count,
+            "selected_samples": self.selected_samples,
+            "visits": dict(self.visits),
+            "counts_before": dict(self.counts_before),
+            "counts_after": dict(self.counts_after),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ExperimentResult":
+        file, lineno = d["line"]
+        return cls(
+            line=SourceLine(file, lineno),
+            speedup_pct=d["speedup_pct"],
+            delay_ns=d["delay_ns"],
+            start_ns=d["start_ns"],
+            end_ns=d["end_ns"],
+            delay_count=d["delay_count"],
+            selected_samples=d["selected_samples"],
+            visits=dict(d["visits"]),
+            counts_before=dict(d["counts_before"]),
+            counts_after=dict(d["counts_after"]),
+        )

@@ -18,9 +18,10 @@ Rules from the paper, all implemented here:
 
 from __future__ import annotations
 
+import json
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.experiment import ExperimentResult
 from repro.core.progress import LatencySpec
@@ -42,6 +43,23 @@ class RunInfo:
     def effective_ns(self) -> int:
         return self.runtime_ns - self.total_delay_ns
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; line samples become ``[file, lineno, count]``."""
+        return {
+            "runtime_ns": self.runtime_ns,
+            "total_delay_ns": self.total_delay_ns,
+            "line_samples": [
+                [src.file, src.lineno, n] for src, n in sorted(self.line_samples.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RunInfo":
+        info = cls(runtime_ns=d["runtime_ns"], total_delay_ns=d["total_delay_ns"])
+        for file, lineno, n in d["line_samples"]:
+            info.line_samples[SourceLine(file, lineno)] = n
+        return info
+
 
 class ProfileData:
     """Raw profiler output: experiments plus per-run sampling totals."""
@@ -61,6 +79,48 @@ class ProfileData:
         self.experiments.extend(other.experiments)
         self.runs.extend(other.runs)
         return self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProfileData):
+            return NotImplemented
+        return self.experiments == other.experiments and self.runs == other.runs
+
+    def __repr__(self) -> str:
+        return f"ProfileData({len(self.experiments)} experiments, {len(self.runs)} runs)"
+
+    # -- wire format (cross-process result transfer) -------------------------------
+    #
+    # Every field of ExperimentResult and RunInfo is an int, a string, or a
+    # container of those, so the JSON round trip is lossless: merging
+    # deserialized copies yields data equal to merging the originals.  This
+    # is what the parallel executor ships back from worker processes.
+
+    WIRE_VERSION = 1
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize to the wire format (a JSON document)."""
+        return json.dumps(
+            {
+                "version": self.WIRE_VERSION,
+                "experiments": [e.to_dict() for e in self.experiments],
+                "runs": [r.to_dict() for r in self.runs],
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProfileData":
+        """Rebuild from :meth:`to_json` output."""
+        doc = json.loads(text)
+        version = doc.get("version")
+        if version != cls.WIRE_VERSION:
+            raise ValueError(f"unsupported ProfileData wire version: {version!r}")
+        data = cls()
+        for ed in doc["experiments"]:
+            data.add_experiment(ExperimentResult.from_dict(ed))
+        for rd in doc["runs"]:
+            data.add_run(RunInfo.from_dict(rd))
+        return data
 
     # -- whole-run totals ----------------------------------------------------------
 

@@ -4,7 +4,9 @@ The paper runs each benchmark ten times before and after the optimization,
 defines speedup as ``(t0 - t_opt) / t0``, computes the standard error with
 Efron's bootstrap, and checks significance with the one-tailed Mann-Whitney
 U test at alpha = 0.001.  :func:`compare_builds` does exactly that on two
-program factories (no profiler installed: these are plain runs).
+program factories (no profiler installed: these are plain runs), reusing
+the process-parallel executor when ``jobs != 1``; :func:`compare_app` is
+the registry-addressed form whose runs parallelize for any bundled app.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.harness.parallel import RunTask, execute_tasks
 from repro.sim.program import Program
 from repro.stats.bootstrap import SpeedupStats, speedup_stats
 
@@ -20,13 +23,28 @@ def measure_runtimes(
     program_factory: Callable[[int], Program],
     runs: int = 10,
     base_seed: int = 0,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    app_ref=None,
 ) -> List[int]:
-    """Wall-clock virtual runtimes of ``runs`` fresh executions."""
-    times = []
-    for i in range(runs):
-        result = program_factory(base_seed + i).run()
-        times.append(result.runtime_ns)
-    return times
+    """Wall-clock virtual runtimes of ``runs`` fresh executions.
+
+    ``app_ref`` (an :class:`~repro.apps.registry.AppRef`) lets worker
+    processes rebuild the program by registry name; without it, parallel
+    execution needs ``program_factory`` itself to be picklable.
+    """
+    tasks = [
+        RunTask(
+            index=i,
+            seed=base_seed + i,
+            coz_config=None,
+            app_ref=app_ref,
+            program_factory=None if app_ref is not None else program_factory,
+        )
+        for i in range(runs)
+    ]
+    outputs = execute_tasks(tasks, jobs=jobs, timeout=timeout)
+    return [out.run["runtime_ns"] for out in outputs]
 
 
 @dataclass
@@ -57,14 +75,51 @@ def compare_builds(
     optimized_factory: Callable[[int], Program],
     runs: int = 10,
     base_seed: int = 0,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    baseline_ref=None,
+    optimized_ref=None,
 ) -> Comparison:
     """Run both configurations ``runs`` times and compute Table 3 statistics."""
-    baseline = measure_runtimes(baseline_factory, runs=runs, base_seed=base_seed)
-    optimized = measure_runtimes(optimized_factory, runs=runs, base_seed=base_seed + runs)
+    baseline = measure_runtimes(
+        baseline_factory, runs=runs, base_seed=base_seed,
+        jobs=jobs, timeout=timeout, app_ref=baseline_ref,
+    )
+    optimized = measure_runtimes(
+        optimized_factory, runs=runs, base_seed=base_seed + runs,
+        jobs=jobs, timeout=timeout, app_ref=optimized_ref,
+    )
     stats = speedup_stats(baseline, optimized, seed=base_seed)
     return Comparison(
         name=name,
         baseline_ns=baseline,
         optimized_ns=optimized,
         stats=stats,
+    )
+
+
+def compare_app(
+    name: str,
+    runs: int = 10,
+    base_seed: int = 0,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    **build_kwargs,
+) -> Comparison:
+    """Registry-addressed :func:`compare_builds`: baseline vs optimized
+    variant of a bundled app, parallelizable via worker-side rebuild."""
+    from repro.apps import registry
+
+    base = registry.build(name, **build_kwargs)
+    opt = registry.build(name, optimized=True, **build_kwargs)
+    return compare_builds(
+        name,
+        base.build,
+        opt.build,
+        runs=runs,
+        base_seed=base_seed,
+        jobs=jobs,
+        timeout=timeout,
+        baseline_ref=base.registry_ref,
+        optimized_ref=opt.registry_ref,
     )

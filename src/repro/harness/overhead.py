@@ -18,11 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from statistics import mean
-from typing import Callable, List, Optional
+from typing import Optional
 
 from repro.apps.spec import AppSpec
 from repro.core.config import CozConfig
-from repro.core.profiler import CausalProfiler
+from repro.harness.parallel import RunTask, execute_tasks
 
 
 @dataclass
@@ -52,31 +52,42 @@ def measure_overhead(
     coz_config: Optional[CozConfig] = None,
     runs: int = 3,
     base_seed: int = 0,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
 ) -> OverheadBreakdown:
-    """Run the four-configuration protocol on one app."""
+    """Run the four-configuration protocol on one app.
+
+    Each configuration's runs go through the shared executor; with
+    ``jobs != 1`` they execute in worker processes (per-run seeding and
+    averaging are unchanged, so the breakdown is identical to serial).
+    """
     coz_config = coz_config or CozConfig()
     if coz_config.scope.files is None and spec.scope.files is not None:
         coz_config = replace(coz_config, scope=spec.scope)
 
-    def timed(make_hook: Optional[Callable[[int], CausalProfiler]]) -> float:
-        times: List[int] = []
-        for i in range(runs):
-            hook = make_hook(base_seed + i) if make_hook is not None else None
-            result = spec.build(base_seed + i).run(hook=hook)
-            times.append(result.runtime_ns)
-        return mean(times)
-
-    def profiler_with(seed: int, **changes) -> CausalProfiler:
-        cfg = replace(coz_config, seed=seed, **changes)
-        return CausalProfiler(cfg, spec.progress_points, spec.latency_specs)
+    def timed(cfg: Optional[CozConfig]) -> float:
+        tasks = [
+            RunTask(
+                index=i,
+                seed=base_seed + i,
+                coz_config=cfg,
+                app_ref=spec.registry_ref,
+                program_factory=None if spec.registry_ref is not None else spec.build,
+                progress_points=tuple(spec.progress_points),
+                latency_specs=tuple(spec.latency_specs),
+            )
+            for i in range(runs)
+        ]
+        outputs = execute_tasks(tasks, jobs=jobs, timeout=timeout)
+        return mean(out.run["runtime_ns"] for out in outputs)
 
     t_base = timed(None)
     # startup-only: debug info processed, but no sampling and no experiments
-    t_startup = timed(lambda s: profiler_with(s, enable_sampling=False))
+    t_startup = timed(replace(coz_config, enable_sampling=False))
     # sampling-only: experiments run with every virtual speedup forced to 0%
-    t_sampling = timed(lambda s: profiler_with(s, enable_delays=False))
+    t_sampling = timed(replace(coz_config, enable_delays=False))
     # full
-    t_full = timed(lambda s: profiler_with(s))
+    t_full = timed(coz_config)
 
     def pct(hi: float, lo: float) -> float:
         return 100.0 * (hi - lo) / t_base

@@ -1,0 +1,227 @@
+"""Process-parallel execution of independent simulation runs.
+
+Coz builds dense causal profiles by merging many short runs; each run is an
+independent deterministic simulation, so the harness can fan them out over
+a :class:`~concurrent.futures.ProcessPoolExecutor` without changing any
+result.  Three properties make that safe:
+
+* **seed assignment** — tasks carry the exact per-run seed the serial loop
+  would have used (``base_seed + i``); workers never draw seeds themselves;
+* **worker-side rebuild** — app specs hold closures that do not pickle, so
+  tasks reference apps by :class:`~repro.apps.registry.AppRef` and workers
+  rebuild them from :mod:`repro.apps.registry`.  Arbitrary picklable
+  program factories are also accepted (the :func:`profile_program` path);
+* **ordered merge** — results are reassembled in task-index order no matter
+  which worker finished first, so the merged profile is bit-identical to
+  the serial one.
+
+Robustness: a run that fails in a worker (raise, pool breakage after a
+``SIGKILL``, per-run timeout) is retried **once, in the parent process**,
+which both bounds retries and guarantees the session completes whenever a
+serial session would.  If the pool itself cannot start (restricted
+environments without ``fork``/semaphores) or tasks cannot be pickled, the
+whole batch degrades to serial execution with a
+:class:`ParallelExecutionWarning` instead of crashing.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import CozConfig
+from repro.core.profile_data import ProfileData
+from repro.core.profiler import CausalProfiler
+from repro.sim.program import Program, RunResult
+
+#: ``jobs`` value meaning "pick a worker count from the machine":
+#: ``min(task count, os.cpu_count())``.
+AUTO_JOBS = 0
+
+
+class ParallelExecutionWarning(UserWarning):
+    """A parallel batch degraded (fallback to serial, or a retried run)."""
+
+
+def resolve_jobs(jobs: Optional[int], n_tasks: int) -> int:
+    """Turn a ``jobs`` request into a concrete worker count.
+
+    ``None`` or :data:`AUTO_JOBS` (0) means cpu-count-aware auto sizing;
+    explicit values are clamped to the number of tasks.
+    """
+    if jobs is None or jobs == AUTO_JOBS:
+        jobs = os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return max(1, min(jobs, n_tasks))
+
+
+@dataclass
+class RunTask:
+    """One simulation run: what to build, how to seed it, what to measure.
+
+    Exactly one of ``app_ref`` / ``program_factory`` should be set.  With
+    ``coz_config`` set the run happens under a :class:`CausalProfiler`
+    seeded ``replace(coz_config, seed=seed)`` — the serial loop's exact
+    recipe; with ``coz_config=None`` it is a plain (unprofiled) run, as
+    used by the comparison and overhead harnesses.
+    """
+
+    index: int
+    seed: int
+    coz_config: Optional[CozConfig] = None
+    #: picklable registry reference (:class:`repro.apps.registry.AppRef`)
+    app_ref: Optional[object] = None
+    #: direct factory; must be picklable to cross process boundaries
+    program_factory: Optional[Callable[[int], Program]] = None
+    progress_points: Tuple = ()
+    latency_specs: Tuple = ()
+
+
+@dataclass
+class RunOutput:
+    """Result of one task: a run summary plus (for profiled runs) the
+    profiler's data in the :meth:`ProfileData.to_json` wire format."""
+
+    index: int
+    seed: int
+    run: Dict[str, Any] = field(default_factory=dict)
+    data_json: Optional[str] = None
+    #: in-process executions keep the live objects to skip re-parsing
+    _data: Optional[ProfileData] = field(default=None, repr=False, compare=False)
+    _run_result: Optional[RunResult] = field(default=None, repr=False, compare=False)
+
+    def profile_data(self) -> Optional[ProfileData]:
+        if self._data is not None:
+            return self._data
+        if self.data_json is None:
+            return None
+        return ProfileData.from_json(self.data_json)
+
+    def run_result(self) -> RunResult:
+        if self._run_result is not None:
+            return self._run_result
+        return RunResult(engine=None, **self.run)
+
+
+def _summarize(result: RunResult) -> Dict[str, Any]:
+    """The picklable subset of a RunResult (everything but the engine)."""
+    return {
+        "runtime_ns": result.runtime_ns,
+        "cpu_ns": result.cpu_ns,
+        "profiler_cpu_ns": result.profiler_cpu_ns,
+        "delay_ns": result.delay_ns,
+        "progress_counts": dict(result.progress_counts),
+        "thread_count": result.thread_count,
+        "sample_count": result.sample_count,
+    }
+
+
+def _resolve_factory(task: RunTask):
+    """(factory, progress_points, latency_specs) for a task, rebuilding
+    registry-referenced apps by name."""
+    if task.app_ref is not None:
+        spec = task.app_ref.build()
+        return spec.build, tuple(spec.progress_points), tuple(spec.latency_specs)
+    if task.program_factory is None:
+        raise ValueError("RunTask needs an app_ref or a program_factory")
+    return task.program_factory, task.progress_points, task.latency_specs
+
+
+def _run_task(task: RunTask, keep_objects: bool = False) -> RunOutput:
+    """Execute one run; mirrors the serial loop body exactly."""
+    factory, points, latency = _resolve_factory(task)
+    profiler = None
+    if task.coz_config is not None:
+        cfg = replace(task.coz_config, seed=task.seed)
+        profiler = CausalProfiler(cfg, points, latency)
+    result = factory(task.seed).run(hook=profiler)
+    out = RunOutput(index=task.index, seed=task.seed, run=_summarize(result))
+    if keep_objects:
+        out._run_result = result
+        if profiler is not None:
+            out._data = profiler.data
+    elif profiler is not None:
+        out.data_json = profiler.data.to_json()
+    return out
+
+
+def _run_task_in_worker(task: RunTask) -> RunOutput:
+    """Worker entry point: always returns the wire-format output."""
+    return _run_task(task, keep_objects=False)
+
+
+def _run_serial(tasks: List[RunTask]) -> List[RunOutput]:
+    return [_run_task(t, keep_objects=True) for t in tasks]
+
+
+def _warn(message: str) -> None:
+    warnings.warn(message, ParallelExecutionWarning, stacklevel=3)
+
+
+def _picklable(task: RunTask) -> bool:
+    try:
+        pickle.dumps(task)
+        return True
+    except Exception:
+        return False
+
+
+def execute_tasks(
+    tasks: List[RunTask],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+) -> List[RunOutput]:
+    """Run every task, parallel when asked and possible, serial otherwise.
+
+    Outputs come back in task order regardless of completion order.  Each
+    failed or timed-out worker run is retried once in the parent; a pool
+    that cannot start degrades the whole batch to serial with a warning.
+    """
+    jobs = resolve_jobs(jobs, len(tasks))
+    if jobs <= 1 or len(tasks) <= 1:
+        return _run_serial(tasks)
+
+    if not all(_picklable(t) for t in tasks):
+        _warn(
+            "profiling tasks are not picklable (closure-based program factory "
+            "not in the app registry); running serially"
+        )
+        return _run_serial(tasks)
+
+    try:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+    except Exception as exc:  # no fork support, no semaphores, ...
+        _warn(f"could not start process pool ({exc!r}); running serially")
+        return _run_serial(tasks)
+
+    outputs: Dict[int, RunOutput] = {}
+    timed_out = False
+    try:
+        futures = {t.index: pool.submit(_run_task_in_worker, t) for t in tasks}
+        for task in tasks:
+            try:
+                outputs[task.index] = futures[task.index].result(timeout=timeout)
+            except Exception as exc:
+                # Covers raising workers, BrokenProcessPool after a worker
+                # death (which also fails every outstanding future), and
+                # per-run timeouts: the single retry runs in-parent, so the
+                # session completes whenever a serial session would.
+                if isinstance(exc, (_FutureTimeout, TimeoutError)):
+                    timed_out = True
+                    futures[task.index].cancel()
+                _warn(
+                    f"run {task.index} (seed {task.seed}) failed in worker "
+                    f"({type(exc).__name__}: {exc}); retrying in parent"
+                )
+                outputs[task.index] = _run_task(task, keep_objects=True)
+    finally:
+        # after a timeout a worker may still be grinding on the stale run;
+        # don't block shutdown on it
+        pool.shutdown(wait=not timed_out, cancel_futures=True)
+    return [outputs[t.index] for t in tasks]

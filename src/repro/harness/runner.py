@@ -1,23 +1,49 @@
 """Profiling runner: run an app under the causal profiler, merge profiles.
 
 Coz accumulates profile data across program executions; dense causal
-profiles come from many short runs.  :func:`profile_app` runs an
-:class:`~repro.apps.spec.AppSpec` ``runs`` times with per-run seeds and
-returns the merged :class:`~repro.core.profile_data.ProfileData` plus the
-built profile for the app's primary progress point.
+profiles come from many short runs.  :class:`ProfileRequest` describes one
+such multi-run session (how many runs, seeding, profiler configuration,
+parallelism) and :func:`run_profile_session` executes it, fanning runs out
+over the process-parallel executor when ``jobs != 1``.  Per-run seeds are
+``base_seed + i`` on both paths and results merge in run order, so a
+parallel session produces a merged :class:`ProfileData` bit-identical to
+the serial one.  :func:`profile_app` and :func:`profile_program` remain as
+thin keyword-style wrappers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.apps.spec import AppSpec
 from repro.core.config import CozConfig
 from repro.core.profile_data import CausalProfile, ProfileData, build_causal_profile
-from repro.core.profiler import CausalProfiler
-from repro.sim.engine import SimConfig
-from repro.sim.program import Program, RunResult
+from repro.harness.parallel import RunTask, execute_tasks
+from repro.sim.program import RunResult
+
+
+@dataclass
+class ProfileRequest:
+    """Everything tunable about one multi-run profiling session.
+
+    The single keyword surface shared by :func:`profile_app`,
+    :func:`profile_program`, and the CLI; construct once, reuse across
+    apps.
+    """
+
+    #: number of profiling runs to merge
+    runs: int = 5
+    #: run ``i`` is seeded ``base_seed + i`` (serial and parallel alike)
+    base_seed: int = 0
+    #: profiler configuration; ``None`` = defaults (scope filled from spec)
+    coz_config: Optional[CozConfig] = None
+    #: discard lines measured at fewer distinct speedups than this
+    min_speedup_amounts: int = 2
+    #: worker processes: 1 = serial, 0/None = auto (cpu-count-aware)
+    jobs: int = 1
+    #: per-run timeout in seconds when running in worker processes
+    timeout: Optional[float] = None
 
 
 @dataclass
@@ -33,6 +59,51 @@ class ProfileOutcome:
         return len(self.data.experiments)
 
 
+def run_profile_session(
+    spec: AppSpec,
+    request: Optional[ProfileRequest] = None,
+) -> ProfileOutcome:
+    """Profile an app spec per ``request`` and merge the runs in order.
+
+    With ``request.jobs != 1`` runs execute in worker processes; specs
+    built by :func:`repro.apps.registry.build` are rebuilt worker-side from
+    their :class:`~repro.apps.registry.AppRef`, while unregistered specs
+    (whose ``build`` closures cannot be pickled) fall back to serial with a
+    warning.
+    """
+    request = request or ProfileRequest()
+    coz_config = request.coz_config or CozConfig()
+    if coz_config.scope.files is None and spec.scope.files is not None:
+        coz_config = replace(coz_config, scope=spec.scope)
+
+    tasks = [
+        RunTask(
+            index=i,
+            seed=request.base_seed + i,
+            coz_config=coz_config,
+            app_ref=spec.registry_ref,
+            program_factory=None if spec.registry_ref is not None else spec.build,
+            progress_points=tuple(spec.progress_points),
+            latency_specs=tuple(spec.latency_specs),
+        )
+        for i in range(request.runs)
+    ]
+    outputs = execute_tasks(tasks, jobs=request.jobs, timeout=request.timeout)
+
+    data = ProfileData()
+    run_results = []
+    for out in outputs:
+        data.merge(out.profile_data())
+        run_results.append(out.run_result())
+    profile = build_causal_profile(
+        data,
+        spec.primary_progress,
+        min_speedup_amounts=request.min_speedup_amounts,
+        phase_correction=coz_config.phase_correction,
+    )
+    return ProfileOutcome(data=data, profile=profile, run_results=run_results)
+
+
 def profile_program(
     program_factory,
     progress_points,
@@ -42,25 +113,31 @@ def profile_program(
     latency_specs=(),
     min_speedup_amounts: int = 2,
     base_seed: int = 0,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
 ) -> ProfileOutcome:
-    """Profile ``runs`` fresh programs from ``program_factory(seed)``."""
-    coz_config = coz_config or CozConfig()
-    data = ProfileData()
-    run_results = []
-    for i in range(runs):
-        cfg = replace(coz_config, seed=base_seed + i)
-        profiler = CausalProfiler(cfg, progress_points, latency_specs)
-        program = program_factory(base_seed + i)
-        result = program.run(hook=profiler)
-        run_results.append(result)
-        data.merge(profiler.data)
-    profile = build_causal_profile(
-        data,
-        primary_progress,
-        min_speedup_amounts=min_speedup_amounts,
-        phase_correction=coz_config.phase_correction,
+    """Profile ``runs`` fresh programs from ``program_factory(seed)``.
+
+    ``jobs`` fans runs out to worker processes when the factory is
+    picklable (module-level functions are; closures degrade to serial).
+    """
+    spec = AppSpec(
+        name="<program>",
+        build=program_factory,
+        progress_points=list(progress_points),
+        primary_progress=primary_progress,
+        scope=(coz_config or CozConfig()).scope,
+        latency_specs=list(latency_specs),
     )
-    return ProfileOutcome(data=data, profile=profile, run_results=run_results)
+    request = ProfileRequest(
+        runs=runs,
+        base_seed=base_seed,
+        coz_config=coz_config,
+        min_speedup_amounts=min_speedup_amounts,
+        jobs=jobs,
+        timeout=timeout,
+    )
+    return run_profile_session(spec, request)
 
 
 def profile_app(
@@ -69,18 +146,16 @@ def profile_app(
     coz_config: Optional[CozConfig] = None,
     min_speedup_amounts: int = 2,
     base_seed: int = 0,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
 ) -> ProfileOutcome:
     """Profile an app spec with its own scope and progress points."""
-    coz_config = coz_config or CozConfig()
-    if coz_config.scope.files is None and spec.scope.files is not None:
-        coz_config = replace(coz_config, scope=spec.scope)
-    return profile_program(
-        spec.build,
-        spec.progress_points,
-        spec.primary_progress,
+    request = ProfileRequest(
         runs=runs,
-        coz_config=coz_config,
-        latency_specs=spec.latency_specs,
-        min_speedup_amounts=min_speedup_amounts,
         base_seed=base_seed,
+        coz_config=coz_config,
+        min_speedup_amounts=min_speedup_amounts,
+        jobs=jobs,
+        timeout=timeout,
     )
+    return run_profile_session(spec, request)

@@ -1,0 +1,77 @@
+"""The public app registry (name-addressable builders + AppRef provenance)."""
+
+import pickle
+
+import pytest
+
+from repro.apps import registry
+from repro.apps.example import build_example
+from repro.apps.parsec_misc import TABLE4
+from repro.apps.registry import AppEntry, AppRef, UnknownAppError
+from repro.apps.spec import AppSpec
+
+
+def test_builtin_apps_registered():
+    names = registry.names()
+    for expected in ("example", "dedup", "ferret", "sqlite", "memcached",
+                     "swaptions", "blackscholes"):
+        assert expected in names
+    for entry in TABLE4:
+        assert entry.name in names
+    assert names == sorted(names)
+
+
+def test_entries_are_dataclasses_not_tuples():
+    entry = registry.get("ferret")
+    assert isinstance(entry, AppEntry)
+    assert entry.name == "ferret"
+    assert entry.has_optimized
+    assert callable(entry.builder)
+    assert not registry.get("example").has_optimized
+
+
+def test_build_stamps_picklable_ref():
+    spec = registry.build("example", rounds=7)
+    assert isinstance(spec, AppSpec)
+    ref = spec.registry_ref
+    assert ref == AppRef(name="example", optimized=False, kwargs=(("rounds", 7),))
+    clone = pickle.loads(pickle.dumps(ref)).build()
+    assert clone.name == spec.name
+    assert clone.registry_ref == ref
+
+
+def test_build_optimized_variant():
+    spec = registry.build("ferret", optimized=True)
+    assert spec.registry_ref.optimized
+    with pytest.raises(ValueError, match="no optimized variant"):
+        registry.build("example", optimized=True)
+
+
+def test_unknown_app_error_lists_available():
+    with pytest.raises(UnknownAppError) as exc_info:
+        registry.get("nosuchapp")
+    assert "nosuchapp" in str(exc_info.value)
+    assert "example" in str(exc_info.value)
+    assert isinstance(exc_info.value, KeyError)  # back-compat for dict users
+
+
+def test_register_unregister_roundtrip():
+    def builder(**kwargs):
+        return build_example(rounds=2, **kwargs)
+
+    registry.register("_test_app", builder, description="test app")
+    try:
+        assert "_test_app" in registry.names()
+        spec = registry.build("_test_app")
+        assert spec.registry_ref == AppRef("_test_app")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("_test_app", builder)
+        registry.register("_test_app", builder, replace=True)
+    finally:
+        registry.unregister("_test_app")
+    assert "_test_app" not in registry.names()
+    registry.unregister("_test_app")  # no-op, does not raise
+
+
+def test_direct_builders_leave_ref_unset():
+    assert build_example(rounds=2).registry_ref is None

@@ -147,3 +147,51 @@ def test_progress_names_and_lines_enumeration():
     d = data_with([exp(L, 0, 10, 10), exp(L2, 0, 5, 10)])
     assert d.progress_names() == ["p"]
     assert d.lines() == [L, L2]
+
+
+# -- wire format (cross-process result transfer) -----------------------------------
+
+def test_json_round_trip_is_lossless():
+    d = data_with(
+        [exp(L, 0, 10, 10, delay_count=3, delay_ns=MS(1)), exp(L2, 50, 5, 8)],
+        runtime_ms=360,
+        line_samples={L: 200, L2: 17},
+    )
+    d.experiments[0].counts_before = {"p": 4}
+    d.experiments[0].counts_after = {"p": 14}
+    restored = ProfileData.from_json(d.to_json())
+    assert restored == d
+    assert restored.experiments == d.experiments
+    assert restored.runs == d.runs
+    assert restored.total_line_samples(L) == 200
+
+
+def test_merge_after_round_trip_equals_direct_merge():
+    d1 = data_with([exp(L, 0, 10, 10)], line_samples={L: 10})
+    d2 = data_with([exp(L, 50, 10, 8)], line_samples={L: 10})
+    direct = ProfileData()
+    direct.merge(data_with([exp(L, 0, 10, 10)], line_samples={L: 10}))
+    direct.merge(data_with([exp(L, 50, 10, 8)], line_samples={L: 10}))
+    via_wire = ProfileData()
+    via_wire.merge(ProfileData.from_json(d1.to_json()))
+    via_wire.merge(ProfileData.from_json(d2.to_json()))
+    assert via_wire == direct
+    lp_direct = build_line_profile(direct, L, "p", phase_correction=False)
+    lp_wire = build_line_profile(via_wire, L, "p", phase_correction=False)
+    assert lp_wire.point_at(50).program_speedup == lp_direct.point_at(50).program_speedup
+
+
+def test_from_json_rejects_unknown_wire_version():
+    d = data_with([exp(L, 0, 10, 10)])
+    doc = d.to_json().replace('"version": 1', '"version": 99')
+    with pytest.raises(ValueError, match="wire version"):
+        ProfileData.from_json(doc)
+
+
+def test_profile_data_equality_semantics():
+    d1 = data_with([exp(L, 0, 10, 10)], line_samples={L: 10})
+    d2 = data_with([exp(L, 0, 10, 10)], line_samples={L: 10})
+    assert d1 == d2
+    d2.add_experiment(exp(L, 50, 10, 8))
+    assert d1 != d2
+    assert d1 != "not profile data"
