@@ -9,7 +9,6 @@ Benchmarks run once per session (``pedantic(rounds=1)``): the interesting
 output is the regenerated artifact, not the harness's own wall-clock time.
 """
 
-import pytest
 
 
 def run_once(benchmark, fn):

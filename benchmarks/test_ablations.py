@@ -11,12 +11,10 @@
    from warmup-dependent lines.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.apps.fluidanimate import build_fluidanimate
 from repro.core.config import CozConfig
-from repro.core.profiler import CausalProfiler
 from repro.core.progress import ProgressPoint
 from repro.harness.runner import profile_program
 from repro.sim import MS, US, Join, Program, Progress, Scope, SimConfig, Spawn, Work, line

@@ -6,7 +6,6 @@ feature extraction unimportant — which justified reallocating threads from
 extraction to the other stages (Figure 5's colors).
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.apps import registry

@@ -11,7 +11,6 @@ The realized optimization (direct calls) is ~25%, far beyond what 7b's
 sample shares suggest.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.apps.sqlite import (

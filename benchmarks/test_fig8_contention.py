@@ -10,7 +10,6 @@ discussion), far below its enormous CPU share, so Coz still steers the
 developer away from "optimizing" the spin loop and toward removing it.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.apps.fluidanimate import LINE_SPIN, build_fluidanimate

@@ -7,7 +7,6 @@ the PARSEC set and check the *shape*: delays dominate, then sampling, then
 startup, and the total stays moderate.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.apps import registry

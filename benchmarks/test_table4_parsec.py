@@ -6,7 +6,6 @@ progress point on the listed line) and check that Coz ranks the paper's
 "Top Optimization" line first.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.apps import registry

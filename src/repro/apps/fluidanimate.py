@@ -24,7 +24,7 @@ from typing import Dict, Optional
 from repro.apps.phases import build_phased_main, phased_sim_config
 from repro.apps.spec import AppSpec
 from repro.core.progress import ProgressPoint
-from repro.sim.clock import MS, US
+from repro.sim.clock import MS
 from repro.sim.program import Program
 from repro.sim.source import Scope, SourceLine, line
 

@@ -22,7 +22,7 @@ from repro.apps.spec import AppSpec
 from repro.core.progress import ProgressPoint
 from repro.sim.clock import MS, US
 from repro.sim.engine import SimConfig
-from repro.sim.ops import Join, Progress, Spawn, Work
+from repro.sim.ops import Join, Spawn, Work
 from repro.sim.program import Program
 from repro.sim.source import Scope, SourceLine, line
 

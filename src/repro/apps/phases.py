@@ -16,11 +16,9 @@ import random
 from typing import Callable, Dict, Generator, List, Optional
 
 from repro.apps.spec import line_factor, scaled
-from repro.core.progress import ProgressPoint
 from repro.sim.clock import MS, US
 from repro.sim.engine import SimConfig
 from repro.sim.ops import BarrierWait, Join, Progress, Spawn, Work
-from repro.sim.program import Program
 from repro.sim.source import SourceLine
 from repro.sim.sync import Barrier, SpinBarrier
 

@@ -31,7 +31,7 @@ Linux) because workers inherit the registry state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Dict, List, Tuple
 

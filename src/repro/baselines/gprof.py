@@ -16,7 +16,7 @@ seconds, calls) and a call graph with caller/callee attribution.
 from __future__ import annotations
 
 import io
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 

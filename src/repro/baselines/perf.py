@@ -13,7 +13,7 @@ from __future__ import annotations
 import io
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.sim.hooks import Observer
 from repro.sim.sampler import Sample

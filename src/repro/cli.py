@@ -6,6 +6,8 @@ Subcommands:
   the ranked profile (the simulator's ``coz run --- <program>``);
 * ``compare <app>`` — Table 3 style before/after optimization comparison;
 * ``overhead <app>`` — Figure 9 style overhead breakdown;
+* ``doctor <app>`` — run the delay-accounting invariant audit
+  (:mod:`repro.core.audit`) and print a pass/fail table;
 * ``list`` — list the registered applications.
 
 Apps are resolved through the public :mod:`repro.apps.registry`; the CLI is
@@ -13,7 +15,9 @@ a thin consumer, and third-party apps that call ``registry.register`` show
 up in every subcommand.  ``profile``, ``compare``, and ``overhead`` accept
 ``--jobs N`` to fan independent runs out over worker processes (``0``, the
 default, auto-sizes to ``min(runs, cpu count)``; ``1`` forces serial).
-Parallel and serial sessions produce identical results.
+Parallel and serial sessions produce identical results.  The same three
+subcommands accept ``--audit`` to run under the invariant audit; a failed
+audit prints its report and exits nonzero.
 """
 
 from __future__ import annotations
@@ -25,7 +29,12 @@ from typing import Optional
 from repro.apps import registry
 from repro.apps.spec import AppSpec
 from repro.core.config import CozConfig
-from repro.core.report import render_line_graph, render_profile, to_coz_format
+from repro.core.report import (
+    render_audit,
+    render_line_graph,
+    render_profile,
+    to_coz_format,
+)
 from repro.harness.comparison import compare_builds
 from repro.harness.overhead import measure_overhead
 from repro.harness.runner import ProfileRequest, run_profile_session
@@ -47,6 +56,17 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _finish_audit(report) -> int:
+    """Render an audit outcome; nonzero when any invariant failed."""
+    if report is None:
+        return 0
+    if report.passed:
+        print(f"audit: PASS ({len(report.checks)} invariants)")
+        return 0
+    print(render_audit(report), end="")
+    return 1
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     spec = _build(args.app, optimized=args.optimized)
     cfg = CozConfig(
@@ -54,7 +74,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
         experiment_duration_ns=MS(args.experiment_ms),
         speedup_values=tuple(range(0, 101, args.speedup_step)),
     )
-    request = ProfileRequest(runs=args.runs, coz_config=cfg, jobs=args.jobs)
+    request = ProfileRequest(
+        runs=args.runs, coz_config=cfg, jobs=args.jobs, audit=args.audit
+    )
     outcome = run_profile_session(spec, request)
     print(f"{outcome.experiment_count} experiments over {args.runs} runs")
     print(render_profile(outcome.profile, top=args.top))
@@ -65,25 +87,49 @@ def cmd_profile(args: argparse.Namespace) -> int:
         with open(args.coz_output, "w") as f:
             f.write(to_coz_format(outcome.data))
         print(f"raw profile written to {args.coz_output}")
-    return 0
+    return _finish_audit(outcome.audit)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    audit_report = None
+    if args.audit:
+        from repro.core.audit import AuditReport
+
+        audit_report = AuditReport()
     base = _build(args.app, optimized=False)
     opt = _build(args.app, optimized=True)
     cmp_result = compare_builds(
         args.app, base.build, opt.build, runs=args.runs, jobs=args.jobs,
         baseline_ref=base.registry_ref, optimized_ref=opt.registry_ref,
+        audit_report=audit_report,
     )
     print(cmp_result.row())
-    return 0
+    return _finish_audit(audit_report)
 
 
 def cmd_overhead(args: argparse.Namespace) -> int:
+    audit_report = None
+    if args.audit:
+        from repro.core.audit import AuditReport
+
+        audit_report = AuditReport()
     spec = _build(args.app)
-    breakdown = measure_overhead(spec, runs=args.runs, jobs=args.jobs)
+    breakdown = measure_overhead(
+        spec, runs=args.runs, jobs=args.jobs, audit_report=audit_report
+    )
     print(breakdown.row())
-    return 0
+    return _finish_audit(audit_report)
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.core.audit import run_doctor
+
+    try:
+        report = run_doctor(args.app, runs=args.runs, jobs=args.jobs)
+    except registry.UnknownAppError as exc:
+        raise SystemExit(str(exc))
+    print(render_audit(report), end="")
+    return 0 if report.passed else 1
 
 
 def _jobs_arg(value: str) -> int:
@@ -98,6 +144,14 @@ def _add_jobs_flag(p: argparse.ArgumentParser) -> None:
         "--jobs", type=_jobs_arg, default=0, metavar="N",
         help="worker processes for independent runs "
              "(0 = auto: min(runs, cpu count); 1 = serial)",
+    )
+
+
+def _add_audit_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--audit", action="store_true",
+        help="run under the delay-accounting invariant audit; "
+             "exit nonzero if any invariant fails",
     )
 
 
@@ -120,19 +174,30 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("--optimized", action="store_true")
     p.add_argument("--coz-output", help="write raw experiments in Coz's file format")
     _add_jobs_flag(p)
+    _add_audit_flag(p)
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("compare", help="before/after optimization (Table 3 row)")
     p.add_argument("app")
     p.add_argument("--runs", type=int, default=10)
     _add_jobs_flag(p)
+    _add_audit_flag(p)
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("overhead", help="overhead breakdown (Figure 9 bar)")
     p.add_argument("app")
     p.add_argument("--runs", type=int, default=3)
     _add_jobs_flag(p)
+    _add_audit_flag(p)
     p.set_defaults(fn=cmd_overhead)
+
+    p = sub.add_parser(
+        "doctor", help="audit the delay-accounting invariants on an app"
+    )
+    p.add_argument("app")
+    p.add_argument("--runs", type=int, default=3)
+    _add_jobs_flag(p)
+    p.set_defaults(fn=cmd_doctor)
 
     args = parser.parse_args(argv)
     return args.fn(args)

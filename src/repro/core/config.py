@@ -56,6 +56,11 @@ class CozConfig:
     minimal_delays: bool = True
     #: apply the phase correction factor of eq. (8)
     phase_correction: bool = True
+    #: attach the invariant-audit layer (:mod:`repro.core.audit`): the
+    #: profiler narrates its delay accounting to a purely-observational
+    #: checker and ships an :class:`~repro.core.audit.AuditReport` alongside
+    #: the profile.  Never perturbs results.
+    audit: bool = False
 
     # --- overhead model (drives Figure 9) -------------------------------------
     #: startup cost of processing debug information, per notional KB

@@ -26,7 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.core.experiment import ExperimentResult
 from repro.core.progress import LatencySpec
 from repro.sim.source import SourceLine
-from repro.stats.bootstrap import bootstrap_se
+from repro.stats.bootstrap import bootstrap_pair_se
 from repro.stats.regression import Regression, linear_regression
 
 
@@ -284,22 +284,13 @@ def _bootstrap_group_se(
     seed: int,
 ) -> float:
     """SE of the group speedup by resampling experiments in both groups."""
-    if len(baseline) < 2 and len(group) < 2:
-        return 0.0
-    import random
-
-    rng = random.Random(seed)
-    vals = []
-    for _ in range(n_boot):
-        b = [baseline[rng.randrange(len(baseline))] for _ in baseline]
-        g = [group[rng.randrange(len(group))] for _ in group]
-        s = _group_speedup(b, g, point)
-        if s is not None:
-            vals.append(s)
-    if len(vals) < 2:
-        return 0.0
-    m = sum(vals) / len(vals)
-    return (sum((v - m) ** 2 for v in vals) / (len(vals) - 1)) ** 0.5
+    return bootstrap_pair_se(
+        baseline,
+        group,
+        lambda b, g: _group_speedup(b, g, point),
+        n_boot=n_boot,
+        seed=seed,
+    )
 
 
 class CausalProfile:

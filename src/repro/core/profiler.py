@@ -50,15 +50,22 @@ class CausalProfiler(ProfilerHook):
         config: Optional[CozConfig] = None,
         progress_points: Sequence[ProgressPoint] = (),
         latency_specs: Sequence[LatencySpec] = (),
+        auditor=None,
     ) -> None:
         self.cfg = config or CozConfig()
         self.cfg.validate()
         self.tracker = ProgressTracker(list(progress_points))
         self.latency_specs = list(latency_specs)
+        self.auditor = auditor
+        if self.auditor is None and self.cfg.audit:
+            from repro.core.audit import DelayAuditor
+
+            self.auditor = DelayAuditor()
         self.delays = DelayEngine(
             minimal=self.cfg.minimal_delays,
             jitter_ns=self.cfg.nanosleep_jitter_ns,
             seed=self.cfg.seed ^ 0x5EED,
+            auditor=self.auditor,
         )
         self.rng = random.Random(self.cfg.seed)
         self.data = ProfileData()
@@ -76,6 +83,7 @@ class CausalProfiler(ProfilerHook):
         # current experiment state
         self._line: Optional[SourceLine] = None
         self._pct: int = 0
+        self._delay_ns: int = 0
         self._start_ns: int = 0
         self._counts_before = {}
         self._s_obs = 0
@@ -98,8 +106,16 @@ class CausalProfiler(ProfilerHook):
 
     def on_run_end(self, engine) -> None:
         if self.state == _RUNNING:
-            # program ended mid-experiment; Coz discards the partial result
-            self.delays.end()
+            # program ended mid-experiment; Coz discards the partial result,
+            # but its delays are already in the timeline — leaving them off
+            # the books would overcount total_effective_ns (the T of eq. 8)
+            count = self.delays.end()
+            self._run_delay_ns += count * self._delay_ns
+        # nanosleep overshoot that was inserted but never compensated is real
+        # timeline delay beyond the required count x delay bookkeeping;
+        # threads pause concurrently, so the critical-path (largest
+        # per-thread) share is what stretched the run
+        self._run_delay_ns += self.delays.max_outstanding_excess_ns(engine.threads)
         self.data.add_run(
             RunInfo(
                 runtime_ns=engine.now,
@@ -107,6 +123,8 @@ class CausalProfiler(ProfilerHook):
                 line_samples=self.line_samples,
             )
         )
+        if self.auditor is not None:
+            self.auditor.on_profiler_run_end(self, engine)
 
     def on_thread_created(self, thread: VThread, parent: Optional[VThread]) -> None:
         self.delays.on_thread_created(thread, parent)
@@ -174,6 +192,7 @@ class CausalProfiler(ProfilerHook):
         self._line = line
         self._pct = self._choose_speedup()
         delay_ns = self._pct * engine.cfg.sample_period_ns // 100
+        self._delay_ns = delay_ns
         self._start_ns = engine.now
         self._counts_before = self.tracker.snapshot()
         self._s_obs = 0
@@ -202,7 +221,7 @@ class CausalProfiler(ProfilerHook):
         count = self.delays.end()
         counts_after = self.tracker.snapshot()
         visits = ProgressTracker.delta(self._counts_before, counts_after)
-        delay_ns = self._pct * engine.cfg.sample_period_ns // 100
+        delay_ns = self._delay_ns
         result = ExperimentResult(
             line=self._line,
             speedup_pct=self._pct,

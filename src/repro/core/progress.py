@@ -16,7 +16,7 @@ latency is inferred from Little's law (L = lambda x W) in the analysis stage.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.sim.source import SourceLine

@@ -9,10 +9,24 @@ the simulator can be inspected with the stock Coz plot viewer.
 from __future__ import annotations
 
 import io
-from typing import Iterable, Optional
+from typing import Optional
 
 from repro.core.analysis import summarize
 from repro.core.profile_data import CausalProfile, LineProfile, ProfileData
+
+
+def render_audit(report) -> str:
+    """Pass/fail table for an :class:`~repro.core.audit.AuditReport`."""
+    buf = io.StringIO()
+    verdict = "PASS" if report.passed else "FAIL"
+    buf.write(f"Invariant audit: {verdict}\n")
+    buf.write(f"{'status':<6} {'invariant':<32} {'checked':>8} {'failed':>7}\n")
+    for c in report.checks:
+        status = "ok" if c.passed else "FAIL"
+        buf.write(f"{status:<6} {c.name:<32} {c.checked:>8} {c.failures:>7}\n")
+        if not c.passed and c.detail:
+            buf.write(f"       ^ {c.detail}\n")
+    return buf.getvalue()
 
 
 def render_profile(profile: CausalProfile, top: Optional[int] = 10) -> str:

@@ -18,13 +18,22 @@ The sampled virtual-speedup protocol, exactly as in the paper:
   a thread woken by a timer (sleep/IO) pays its accumulated delays;
 * nanosleep may overshoot; the excess is tracked per thread and subtracted
   from future pauses ("Ensuring accurate timing").
+
+Accounting instrumentation: alongside ``total_inserted_ns`` (pauses
+actually taken) the engine tracks ``total_required_ns`` (nominal
+count x delay pauses owed) so the excess algebra
+``inserted == required + outstanding excess`` is checkable at any time, and
+every counter mutation is narrated to an optional
+:class:`~repro.sim.hooks.AuditHook` for the invariant audit layer
+(:mod:`repro.core.audit`).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Iterable, Optional
 
+from repro.sim.hooks import AuditHook
 from repro.sim.thread import VThread
 
 _LOCAL = "coz_local"
@@ -39,6 +48,7 @@ class DelayEngine:
         minimal: bool = True,
         jitter_ns: int = 0,
         seed: int = 0,
+        auditor: Optional[AuditHook] = None,
     ) -> None:
         self.minimal = minimal
         self.jitter_ns = jitter_ns
@@ -48,21 +58,29 @@ class DelayEngine:
         self.global_count = 0
         #: pauses actually inserted, in ns, across all threads (diagnostics)
         self.total_inserted_ns = 0
+        #: nominal pauses owed (count x delay), before excess/jitter adjustment
+        self.total_required_ns = 0
+        self.auditor = auditor
 
     # -- experiment lifecycle --------------------------------------------------
 
-    def begin(self, delay_ns: int, threads) -> None:
+    def begin(self, delay_ns: int, threads: Iterable[VThread]) -> None:
         """Start an experiment with a per-sample delay of ``delay_ns``."""
         self.active = True
         self.delay_ns = delay_ns
         self.global_count = 0
+        threads = list(threads)
         for t in threads:
             t.prof[_LOCAL] = 0
+        if self.auditor is not None:
+            self.auditor.on_delay_begin(self, delay_ns, threads)
 
     def end(self) -> int:
         """Stop inserting delays; returns the final global count."""
         self.active = False
         count = self.global_count
+        if self.auditor is not None:
+            self.auditor.on_delay_end(count, self.delay_ns)
         self.delay_ns = 0
         return count
 
@@ -78,6 +96,8 @@ class DelayEngine:
         if not self.active or hits <= 0:
             return self.reconcile(thread)
         thread.prof[_LOCAL] = thread.prof.get(_LOCAL, 0) + hits
+        if self.auditor is not None:
+            self.auditor.on_delay_hits(thread, hits)
         if not self.minimal:
             # pre-optimization scheme (ablation): the global count rises on
             # every hit, so *all* other threads pause even when they execute
@@ -99,14 +119,21 @@ class DelayEngine:
             return 0
         if local == self.global_count:
             return 0
-        required = (self.global_count - local) * self.delay_ns
+        count_delta = self.global_count - local
+        required = count_delta * self.delay_ns
         thread.prof[_LOCAL] = self.global_count
-        return self._apply_excess(thread, required)
+        pause = self._apply_excess(thread, required)
+        if self.auditor is not None:
+            self.auditor.on_delay_pause(thread, count_delta, required, pause)
+        return pause
 
     def credit(self, thread: VThread) -> None:
         """Thread was woken by a peer: its waker already paid the delays."""
         if self.active:
+            count_delta = self.global_count - thread.prof.get(_LOCAL, 0)
             thread.prof[_LOCAL] = self.global_count
+            if self.auditor is not None:
+                self.auditor.on_delay_credit(thread, count_delta)
 
     def on_thread_created(self, child: VThread, parent: Optional[VThread]) -> None:
         """A new thread inherits its parent's local count (§3.4, 'Thread
@@ -117,11 +144,26 @@ class DelayEngine:
             child.prof[_LOCAL] = parent.prof.get(_LOCAL, 0)
         else:
             child.prof[_LOCAL] = self.global_count
+        if self.auditor is not None:
+            self.auditor.on_delay_inherit(child, child.prof[_LOCAL])
+
+    def local_count(self, thread: VThread) -> int:
+        """A thread's local delay count (diagnostics/audit)."""
+        return thread.prof.get(_LOCAL, 0)
 
     # -- nanosleep excess ----------------------------------------------------------
 
+    def outstanding_excess_ns(self, threads: Iterable[VThread]) -> int:
+        """Total nanosleep overshoot inserted but not yet compensated."""
+        return sum(t.prof.get(_EXCESS, 0) for t in threads)
+
+    def max_outstanding_excess_ns(self, threads: Iterable[VThread]) -> int:
+        """Largest per-thread uncompensated overshoot (critical-path share)."""
+        return max((t.prof.get(_EXCESS, 0) for t in threads), default=0)
+
     def _apply_excess(self, thread: VThread, required: int) -> int:
         """Adjust a required pause for previously-overshot sleeps."""
+        self.total_required_ns += required
         excess = thread.prof.get(_EXCESS, 0)
         if excess >= required:
             thread.prof[_EXCESS] = excess - required

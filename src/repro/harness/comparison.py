@@ -26,12 +26,15 @@ def measure_runtimes(
     jobs: int = 1,
     timeout: Optional[float] = None,
     app_ref=None,
+    audit_report=None,
 ) -> List[int]:
     """Wall-clock virtual runtimes of ``runs`` fresh executions.
 
     ``app_ref`` (an :class:`~repro.apps.registry.AppRef`) lets worker
     processes rebuild the program by registry name; without it, parallel
     execution needs ``program_factory`` itself to be picklable.
+    ``audit_report`` (an :class:`~repro.core.audit.AuditReport`) turns on
+    the executor's parallel-serial-identity spot check.
     """
     tasks = [
         RunTask(
@@ -43,7 +46,10 @@ def measure_runtimes(
         )
         for i in range(runs)
     ]
-    outputs = execute_tasks(tasks, jobs=jobs, timeout=timeout)
+    outputs = execute_tasks(
+        tasks, jobs=jobs, timeout=timeout,
+        audit_report=audit_report if jobs != 1 else None,
+    )
     return [out.run["runtime_ns"] for out in outputs]
 
 
@@ -79,15 +85,18 @@ def compare_builds(
     timeout: Optional[float] = None,
     baseline_ref=None,
     optimized_ref=None,
+    audit_report=None,
 ) -> Comparison:
     """Run both configurations ``runs`` times and compute Table 3 statistics."""
     baseline = measure_runtimes(
         baseline_factory, runs=runs, base_seed=base_seed,
         jobs=jobs, timeout=timeout, app_ref=baseline_ref,
+        audit_report=audit_report,
     )
     optimized = measure_runtimes(
         optimized_factory, runs=runs, base_seed=base_seed + runs,
         jobs=jobs, timeout=timeout, app_ref=optimized_ref,
+        audit_report=audit_report,
     )
     stats = speedup_stats(baseline, optimized, seed=base_seed)
     return Comparison(
@@ -104,6 +113,7 @@ def compare_app(
     base_seed: int = 0,
     jobs: int = 1,
     timeout: Optional[float] = None,
+    audit_report=None,
     **build_kwargs,
 ) -> Comparison:
     """Registry-addressed :func:`compare_builds`: baseline vs optimized
@@ -122,4 +132,5 @@ def compare_app(
         timeout=timeout,
         baseline_ref=base.registry_ref,
         optimized_ref=opt.registry_ref,
+        audit_report=audit_report,
     )

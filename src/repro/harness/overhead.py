@@ -54,18 +54,24 @@ def measure_overhead(
     base_seed: int = 0,
     jobs: int = 1,
     timeout: Optional[float] = None,
+    audit_report=None,
 ) -> OverheadBreakdown:
     """Run the four-configuration protocol on one app.
 
     Each configuration's runs go through the shared executor; with
     ``jobs != 1`` they execute in worker processes (per-run seeding and
     averaging are unchanged, so the breakdown is identical to serial).
+    With an ``audit_report`` (:class:`~repro.core.audit.AuditReport`) the
+    three profiled configurations run under the invariant audit and the
+    per-run reports are folded in.
     """
     coz_config = coz_config or CozConfig()
     if coz_config.scope.files is None and spec.scope.files is not None:
         coz_config = replace(coz_config, scope=spec.scope)
 
     def timed(cfg: Optional[CozConfig]) -> float:
+        if cfg is not None and audit_report is not None:
+            cfg = replace(cfg, audit=True)
         tasks = [
             RunTask(
                 index=i,
@@ -78,7 +84,15 @@ def measure_overhead(
             )
             for i in range(runs)
         ]
-        outputs = execute_tasks(tasks, jobs=jobs, timeout=timeout)
+        outputs = execute_tasks(
+            tasks, jobs=jobs, timeout=timeout,
+            audit_report=audit_report if jobs != 1 else None,
+        )
+        if audit_report is not None:
+            for out in outputs:
+                per_run = out.audit_report()
+                if per_run is not None:
+                    audit_report.merge(per_run)
         return mean(out.run["runtime_ns"] for out in outputs)
 
     t_base = timed(None)

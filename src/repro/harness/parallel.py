@@ -18,14 +18,27 @@ result.  Three properties make that safe:
 Robustness: a run that fails in a worker (raise, pool breakage after a
 ``SIGKILL``, per-run timeout) is retried **once, in the parent process**,
 which both bounds retries and guarantees the session completes whenever a
-serial session would.  If the pool itself cannot start (restricted
+serial session would.  On the first timeout the pool's worker processes
+are terminated outright: a future stuck on a hung run cannot be
+``cancel()``-ed, and a ``shutdown(wait=False)`` would orphan the workers
+(and starve queued tasks into spurious timeouts of their own) — so the
+remaining tasks are harvested where already done and re-run in the
+parent otherwise.  If the pool itself cannot start (restricted
 environments without ``fork``/semaphores) or tasks cannot be pickled, the
 whole batch degrades to serial execution with a
 :class:`ParallelExecutionWarning` instead of crashing.
+
+Auditing: with ``coz_config.audit`` set, each task's worker attaches a
+:class:`~repro.core.audit.DelayAuditor` and ships the resulting
+:class:`~repro.core.audit.AuditReport` home in its wire format
+(``audit_json``).  ``execute_tasks(..., audit_report=...)`` additionally
+re-executes a sampled subset of worker runs in the parent and checks
+bit-identity (the *parallel-serial-identity* invariant).
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import os
 import pickle
 import warnings
@@ -38,6 +51,10 @@ from repro.core.config import CozConfig
 from repro.core.profile_data import ProfileData
 from repro.core.profiler import CausalProfiler
 from repro.sim.program import Program, RunResult
+
+#: cancelled futures raise this; BaseException on modern Pythons, so a bare
+#: ``except Exception`` would miss it after a pool termination
+_FutureCancelled = concurrent.futures.CancelledError
 
 #: ``jobs`` value meaning "pick a worker count from the machine":
 #: ``min(task count, os.cpu_count())``.
@@ -92,9 +109,12 @@ class RunOutput:
     seed: int
     run: Dict[str, Any] = field(default_factory=dict)
     data_json: Optional[str] = None
+    #: per-run invariant audit (wire format), when the config asked for one
+    audit_json: Optional[str] = None
     #: in-process executions keep the live objects to skip re-parsing
     _data: Optional[ProfileData] = field(default=None, repr=False, compare=False)
     _run_result: Optional[RunResult] = field(default=None, repr=False, compare=False)
+    _audit: Optional[object] = field(default=None, repr=False, compare=False)
 
     def profile_data(self) -> Optional[ProfileData]:
         if self._data is not None:
@@ -107,6 +127,16 @@ class RunOutput:
         if self._run_result is not None:
             return self._run_result
         return RunResult(engine=None, **self.run)
+
+    def audit_report(self):
+        """The run's :class:`~repro.core.audit.AuditReport`, if audited."""
+        if self._audit is not None:
+            return self._audit
+        if self.audit_json is None:
+            return None
+        from repro.core.audit import AuditReport
+
+        return AuditReport.from_json(self.audit_json)
 
 
 def _summarize(result: RunResult) -> Dict[str, Any]:
@@ -146,8 +176,11 @@ def _run_task(task: RunTask, keep_objects: bool = False) -> RunOutput:
         out._run_result = result
         if profiler is not None:
             out._data = profiler.data
+            out._audit = profiler.auditor.report() if profiler.auditor else None
     elif profiler is not None:
         out.data_json = profiler.data.to_json()
+        if profiler.auditor is not None:
+            out.audit_json = profiler.auditor.report().to_json()
     return out
 
 
@@ -172,16 +205,77 @@ def _picklable(task: RunTask) -> bool:
         return False
 
 
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*, hung workers included.
+
+    ``Future.cancel()`` is a no-op once a task is running and
+    ``shutdown(wait=False)`` merely abandons the worker processes, which
+    keep grinding (and keep queued tasks starved) until they finish on
+    their own.  The only way to reclaim a hung worker is to terminate its
+    process.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in processes:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in processes:
+        proc.join(timeout=1.0)
+
+
+def _audit_identity(tasks, outputs, audit_report) -> None:
+    """Parallel-serial-identity: re-run a sampled subset in the parent.
+
+    Re-executes the first and last profiled task in-process and compares
+    both the run summary and the profile bit-for-bit against what the
+    worker shipped home.  Appends the result to ``audit_report``.
+    """
+    from repro.core.audit import InvariantCheck
+
+    by_index = {t.index: t for t in tasks}
+    sample = [tasks[0].index, tasks[-1].index] if len(tasks) > 1 else [tasks[0].index]
+    checked = 0
+    failures = 0
+    detail = ""
+    for idx in dict.fromkeys(sample):
+        out = outputs.get(idx)
+        if out is None:
+            continue
+        redo = _run_task(by_index[idx], keep_objects=True)
+        checked += 1
+        same = redo.run == out.run and redo.profile_data() == out.profile_data()
+        if not same:
+            failures += 1
+            if not detail:
+                detail = (
+                    f"run {idx} (seed {out.seed}) differs between the worker "
+                    f"and an in-parent re-execution"
+                )
+    audit_report.add(InvariantCheck(
+        name="parallel-serial-identity",
+        passed=failures == 0,
+        checked=checked,
+        failures=failures,
+        detail=detail,
+    ))
+
+
 def execute_tasks(
     tasks: List[RunTask],
     jobs: int = 1,
     timeout: Optional[float] = None,
+    audit_report=None,
 ) -> List[RunOutput]:
     """Run every task, parallel when asked and possible, serial otherwise.
 
     Outputs come back in task order regardless of completion order.  Each
-    failed or timed-out worker run is retried once in the parent; a pool
-    that cannot start degrades the whole batch to serial with a warning.
+    failed or timed-out worker run is retried once in the parent; the first
+    timeout terminates the pool's processes (hung workers cannot be
+    cancelled) and the remaining unfinished tasks also run in the parent.
+    A pool that cannot start degrades the whole batch to serial with a
+    warning.  With an ``audit_report`` (an
+    :class:`~repro.core.audit.AuditReport`), a sampled subset of worker
+    runs is re-executed in the parent and checked for bit-identity.
     """
     jobs = resolve_jobs(jobs, len(tasks))
     if jobs <= 1 or len(tasks) <= 1:
@@ -201,27 +295,40 @@ def execute_tasks(
         return _run_serial(tasks)
 
     outputs: Dict[int, RunOutput] = {}
-    timed_out = False
+    terminated = False
     try:
         futures = {t.index: pool.submit(_run_task_in_worker, t) for t in tasks}
         for task in tasks:
+            if task.index in outputs:
+                continue
             try:
                 outputs[task.index] = futures[task.index].result(timeout=timeout)
-            except Exception as exc:
+            except (Exception, _FutureCancelled) as exc:
                 # Covers raising workers, BrokenProcessPool after a worker
                 # death (which also fails every outstanding future), and
                 # per-run timeouts: the single retry runs in-parent, so the
                 # session completes whenever a serial session would.
-                if isinstance(exc, (_FutureTimeout, TimeoutError)):
-                    timed_out = True
-                    futures[task.index].cancel()
+                if isinstance(exc, (_FutureTimeout, TimeoutError)) and not terminated:
+                    # harvest whatever already finished, then reclaim the
+                    # workers; the hung run and everything still queued are
+                    # re-run in the parent as this loop continues
+                    for other in tasks:
+                        fut = futures[other.index]
+                        if other.index not in outputs and fut.done():
+                            try:
+                                outputs[other.index] = fut.result(timeout=0)
+                            except (Exception, _FutureCancelled):
+                                pass
+                    _terminate_pool(pool)
+                    terminated = True
                 _warn(
                     f"run {task.index} (seed {task.seed}) failed in worker "
                     f"({type(exc).__name__}: {exc}); retrying in parent"
                 )
                 outputs[task.index] = _run_task(task, keep_objects=True)
     finally:
-        # after a timeout a worker may still be grinding on the stale run;
-        # don't block shutdown on it
-        pool.shutdown(wait=not timed_out, cancel_futures=True)
+        if not terminated:
+            pool.shutdown(wait=True, cancel_futures=True)
+    if audit_report is not None:
+        _audit_identity(tasks, outputs, audit_report)
     return [outputs[t.index] for t in tasks]

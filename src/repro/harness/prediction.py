@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from statistics import mean
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.apps.spec import AppSpec
 from repro.core.analysis import predict_program_speedup

@@ -44,6 +44,9 @@ class ProfileRequest:
     jobs: int = 1
     #: per-run timeout in seconds when running in worker processes
     timeout: Optional[float] = None
+    #: attach the invariant audit (:mod:`repro.core.audit`) to every run and
+    #: merge the per-run reports into :attr:`ProfileOutcome.audit`
+    audit: bool = False
 
 
 @dataclass
@@ -53,6 +56,8 @@ class ProfileOutcome:
     data: ProfileData
     profile: CausalProfile
     run_results: List[RunResult] = field(default_factory=list)
+    #: merged invariant-audit report (``None`` unless the request audited)
+    audit: Optional[object] = None
 
     @property
     def experiment_count(self) -> int:
@@ -75,6 +80,12 @@ def run_profile_session(
     coz_config = request.coz_config or CozConfig()
     if coz_config.scope.files is None and spec.scope.files is not None:
         coz_config = replace(coz_config, scope=spec.scope)
+    audit_report = None
+    if request.audit or coz_config.audit:
+        from repro.core.audit import AuditReport
+
+        coz_config = replace(coz_config, audit=True)
+        audit_report = AuditReport()
 
     tasks = [
         RunTask(
@@ -88,20 +99,35 @@ def run_profile_session(
         )
         for i in range(request.runs)
     ]
-    outputs = execute_tasks(tasks, jobs=request.jobs, timeout=request.timeout)
+    outputs = execute_tasks(
+        tasks,
+        jobs=request.jobs,
+        timeout=request.timeout,
+        audit_report=audit_report if request.jobs != 1 else None,
+    )
 
     data = ProfileData()
     run_results = []
     for out in outputs:
         data.merge(out.profile_data())
         run_results.append(out.run_result())
+        if audit_report is not None:
+            per_run = out.audit_report()
+            if per_run is not None:
+                audit_report.merge(per_run)
+    if audit_report is not None:
+        from repro.core.audit import audit_profile_data
+
+        audit_report.merge(audit_profile_data(data))
     profile = build_causal_profile(
         data,
         spec.primary_progress,
         min_speedup_amounts=request.min_speedup_amounts,
         phase_correction=coz_config.phase_correction,
     )
-    return ProfileOutcome(data=data, profile=profile, run_results=run_results)
+    return ProfileOutcome(
+        data=data, profile=profile, run_results=run_results, audit=audit_report
+    )
 
 
 def profile_program(
@@ -115,6 +141,7 @@ def profile_program(
     base_seed: int = 0,
     jobs: int = 1,
     timeout: Optional[float] = None,
+    audit: bool = False,
 ) -> ProfileOutcome:
     """Profile ``runs`` fresh programs from ``program_factory(seed)``.
 
@@ -136,6 +163,7 @@ def profile_program(
         min_speedup_amounts=min_speedup_amounts,
         jobs=jobs,
         timeout=timeout,
+        audit=audit,
     )
     return run_profile_session(spec, request)
 
@@ -148,6 +176,7 @@ def profile_app(
     base_seed: int = 0,
     jobs: int = 1,
     timeout: Optional[float] = None,
+    audit: bool = False,
 ) -> ProfileOutcome:
     """Profile an app spec with its own scope and progress points."""
     request = ProfileRequest(
@@ -157,5 +186,6 @@ def profile_app(
         min_speedup_amounts=min_speedup_amounts,
         jobs=jobs,
         timeout=timeout,
+        audit=audit,
     )
     return run_profile_session(spec, request)

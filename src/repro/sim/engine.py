@@ -27,8 +27,8 @@ import heapq
 import math
 import random
 from collections import Counter, deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, List, Optional, Set
 
 from repro.sim import ops as O
 from repro.sim.clock import MS, US

@@ -13,6 +13,14 @@ The engine exposes two integration surfaces:
   a fixed per-call instrumentation cost the engine charges on their behalf
   (``call_overhead_ns``), which is how the gprof baseline models its probe
   effect.
+
+* :class:`AuditHook` — the invariant-audit callback surface.  The delay
+  engine and the profiler narrate every delay-accounting event (hits
+  credited, pauses paid, credits granted, experiment boundaries) to an
+  attached audit hook, which cross-checks the bookkeeping algebra
+  (:mod:`repro.core.audit`).  Audit hooks are strictly observational: they
+  must not draw randomness, charge cost, or touch scheduling, so attaching
+  one can never change a profiling result.
 """
 
 from __future__ import annotations
@@ -102,6 +110,53 @@ class ProfilerHook:
         Only fired for lines previously registered via
         ``engine.watch_line(line)`` (breakpoint progress points).
         """
+
+
+class AuditHook:
+    """Callback surface for the delay-accounting invariant audit.
+
+    The :class:`~repro.core.speedup.DelayEngine` reports every counter
+    mutation; the :class:`~repro.core.profiler.CausalProfiler` reports run
+    boundaries.  Implementations (see
+    :class:`repro.core.audit.DelayAuditor`) rebuild the accounting from
+    these events alone and compare against what the profiler booked, so a
+    leak in either place shows up as a disagreement.
+
+    Every method is optional, and none may perturb the run.
+    """
+
+    def on_delay_begin(self, delays, delay_ns: int, threads: List["VThread"]) -> None:
+        """An experiment's delay protocol started (``begin``)."""
+
+    def on_delay_hits(self, thread: "VThread", hits: int) -> None:
+        """``hits`` self-credited samples were added to a thread's local count."""
+
+    def on_delay_pause(
+        self, thread: "VThread", count_delta: int, required_ns: int, inserted_ns: int
+    ) -> None:
+        """A thread caught up with the global count by pausing.
+
+        ``count_delta`` delays were owed; ``required_ns`` is the nominal
+        pause (count x delay) and ``inserted_ns`` the pause actually taken
+        after nanosleep excess/jitter adjustment.
+        """
+
+    def on_delay_credit(self, thread: "VThread", count_delta: int) -> None:
+        """A thread was credited ``count_delta`` delays without pausing."""
+
+    def on_delay_inherit(self, thread: "VThread", local_count: int) -> None:
+        """A new thread started with an inherited local count (§3.4)."""
+
+    def on_delay_end(self, count: int, delay_ns: int) -> None:
+        """The delay protocol stopped (``end``) with this final global count.
+
+        Fires for *every* ``end`` — completed and partial experiments alike —
+        so the audit's per-run expected delay total is independent of the
+        profiler's own bookkeeping.
+        """
+
+    def on_profiler_run_end(self, profiler, engine) -> None:
+        """The profiler finished recording a run's :class:`RunInfo`."""
 
 
 class Observer:

@@ -27,7 +27,7 @@ Operations are split into the categories Coz cares about (paper Tables 1-2):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional, Tuple
 
 from repro.sim.source import SourceLine

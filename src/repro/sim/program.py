@@ -11,7 +11,7 @@ main body's closure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.sim.engine import Engine, SimConfig
 from repro.sim.hooks import Observer, ProfilerHook

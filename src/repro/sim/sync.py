@@ -19,7 +19,6 @@ from typing import Any, Deque, Generator, List, Optional
 
 from repro.sim.clock import US
 from repro.sim.ops import (
-    BarrierWait,
     CondWait,
     Lock,
     SetSpinning,

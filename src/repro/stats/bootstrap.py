@@ -10,7 +10,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from statistics import mean
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Sequence, Tuple
 
 
 def _resample(rng: random.Random, data: Sequence[float]) -> list:
@@ -32,6 +32,37 @@ def bootstrap_se(
     m = mean(stats)
     var = sum((s - m) ** 2 for s in stats) / (len(stats) - 1)
     return var ** 0.5
+
+
+def bootstrap_pair_se(
+    a: Sequence,
+    b: Sequence,
+    statistic: Callable[[Sequence, Sequence], "float | None"],
+    n_boot: int = 1000,
+    seed: int = 0,
+) -> float:
+    """Bootstrap SE of a two-sample statistic, resampling both groups.
+
+    Each iteration resamples ``a`` then ``b`` (in that order — draw order is
+    part of the deterministic contract) and evaluates ``statistic`` on the
+    pair; iterations where it returns ``None`` (undefined, e.g. no progress
+    visits in a resample) are skipped.  Returns 0.0 when both groups are
+    singletons or fewer than two iterations produced a value.
+    """
+    if len(a) < 2 and len(b) < 2:
+        return 0.0
+    rng = random.Random(seed)
+    vals = []
+    for _ in range(n_boot):
+        ra = _resample(rng, a)
+        rb = _resample(rng, b)
+        s = statistic(ra, rb)
+        if s is not None:
+            vals.append(s)
+    if len(vals) < 2:
+        return 0.0
+    m = mean(vals)
+    return (sum((v - m) ** 2 for v in vals) / (len(vals) - 1)) ** 0.5
 
 
 def bootstrap_ci(
@@ -101,17 +132,13 @@ def speedup_stats(
     topt = mean(optimized)
     point = (t0 - topt) / t0
 
-    rng = random.Random(seed)
-    boots = []
-    for _ in range(n_boot):
-        b = mean(_resample(rng, baseline))
-        o = mean(_resample(rng, optimized))
-        boots.append((b - o) / b)
-    if len(baseline) > 1 or len(optimized) > 1:
-        m = mean(boots)
-        se = (sum((s - m) ** 2 for s in boots) / (len(boots) - 1)) ** 0.5
-    else:
-        se = 0.0
+    se = bootstrap_pair_se(
+        baseline,
+        optimized,
+        lambda b, o: (mean(b) - mean(o)) / mean(b),
+        n_boot=n_boot,
+        seed=seed,
+    )
 
     p = mann_whitney_u(optimized, baseline, alternative="less").p_value
     return SpeedupStats(

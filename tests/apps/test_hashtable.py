@@ -6,7 +6,6 @@ from repro.apps.hashtable import (
     HASH_VARIANTS,
     HashTable,
     figure4_stats,
-    hash_noshift,
     hash_original,
     hash_xor,
     make_keys,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps.example import build_example
 from repro.baselines.gprof import GprofObserver
-from repro.sim import MS, US, Join, Program, Spawn, Work, call, line
+from repro.sim import US, Program, Work, call, line
 
 L = line("g.c:1")
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.analysis import Opportunity, predict_program_speedup, summarize, top_line
+from repro.core.analysis import predict_program_speedup, summarize, top_line
 from repro.core.profile_data import CausalProfile, LineProfile, ProfilePoint
 from repro.sim.source import line
 

@@ -14,11 +14,9 @@ paper (§3.4, eqs. 1-4).
 
 import pytest
 
-from repro.apps.spec import line_factor, scaled
 from repro.core.config import CozConfig
-from repro.core.profiler import CausalProfiler
 from repro.core.progress import ProgressPoint
-from repro.harness.runner import profile_app, profile_program
+from repro.harness.runner import profile_program
 from repro.sim import MS, US, BarrierWait, Join, Program, Progress, Scope, SimConfig, Spawn, Work, line
 from repro.sim.sync import Barrier
 

@@ -127,6 +127,89 @@ def test_scope_restricts_selection():
     assert prof.experiments_run == 0  # HOT is out of scope; nothing selected
 
 
+def _partial_delay(prof):
+    """Delay booked for an experiment still in flight when the run ended."""
+    if prof.state != "running":
+        return 0
+    return prof.delays.global_count * prof._delay_ns
+
+
+def test_partial_experiment_delays_stay_on_the_books():
+    """A program ending mid-experiment keeps the partial delays in the run
+    total: effective time is runtime minus *all* inserted delay, not just
+    the completed experiments' share."""
+    cfg = CozConfig(
+        experiment_duration_ns=MS(10), cooloff_ns=MS(1), speedup_schedule=[50]
+    )
+    prof, result = run_profiled(cfg, total_ms=25)
+    assert prof.state == "running"  # the run really ended mid-experiment
+    partial = _partial_delay(prof)
+    assert partial > 0
+    completed = sum(e.inserted_delay_ns for e in prof.data.experiments)
+    info = prof.data.runs[0]
+    assert info.total_delay_ns == completed + partial
+    assert info.effective_ns == result.runtime_ns - completed - partial
+
+
+def test_truncated_run_matches_longer_run_minus_known_delta():
+    """Same seed, longer program: the shared prefix books identically, and
+    the effective-time difference is exactly the extra runtime minus the
+    extra delay reconstructable from the experiment records alone."""
+    def go(total_ms):
+        cfg = CozConfig(
+            experiment_duration_ns=MS(10), cooloff_ns=MS(1), speedup_schedule=[50]
+        )
+        return run_profiled(cfg, total_ms=total_ms)
+
+    prof_a, res_a = go(25)
+    prof_b, res_b = go(35)
+    assert prof_a.state == "running" and prof_b.state == "running"
+
+    # deterministic single-threaded prefix: shared experiments are identical
+    n = len(prof_a.data.experiments)
+    assert n < len(prof_b.data.experiments)
+    for ea, eb in zip(prof_a.data.experiments, prof_b.data.experiments):
+        assert (ea.start_ns, ea.speedup_pct, ea.delay_count) == \
+            (eb.start_ns, eb.speedup_pct, eb.delay_count)
+
+    delta = (
+        sum(e.inserted_delay_ns for e in prof_b.data.experiments[n:])
+        + _partial_delay(prof_b)
+        - _partial_delay(prof_a)
+    )
+    booked_a = prof_a.data.runs[0].total_delay_ns
+    booked_b = prof_b.data.runs[0].total_delay_ns
+    assert booked_b - booked_a == delta
+    assert prof_b.data.total_effective_ns() == (
+        prof_a.data.total_effective_ns() + (res_b.runtime_ns - res_a.runtime_ns) - delta
+    )
+
+
+def test_jitter_enabled_runs_are_deterministic():
+    """Nanosleep jitter perturbs the timeline but is seeded: same request
+    twice gives bit-identical data, and the jitter really did take effect."""
+    from repro.apps import registry
+    from repro.harness.runner import profile_app
+
+    def go(jitter):
+        spec = registry.build("example", rounds=30)
+        cfg = CozConfig(
+            scope=spec.scope,
+            experiment_duration_ns=MS(40),
+            nanosleep_jitter_ns=jitter,
+        )
+        return profile_app(spec, runs=2, coz_config=cfg)
+
+    first = go(5000)
+    second = go(5000)
+    assert first.data == second.data
+    assert [r.runtime_ns for r in first.run_results] == \
+        [r.runtime_ns for r in second.run_results]
+    plain = go(0)
+    assert [r.runtime_ns for r in first.run_results] != \
+        [r.runtime_ns for r in plain.run_results]
+
+
 def test_config_validation():
     with pytest.raises(ValueError):
         CozConfig(zero_speedup_prob=1.5).validate()

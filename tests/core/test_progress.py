@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core.experiment import ExperimentResult
-from repro.core.progress import LatencySpec, ProgressPoint, ProgressTracker
-from repro.sim.clock import MS, US
+from repro.core.progress import ProgressPoint, ProgressTracker
+from repro.sim.clock import MS
 from repro.sim.source import line
 
 L = line("pp.c:5")

@@ -9,7 +9,7 @@ from repro.harness.comparison import compare_builds, measure_runtimes
 from repro.harness.overhead import measure_overhead
 from repro.harness.prediction import accuracy_study
 from repro.harness.runner import profile_app
-from repro.harness.tables import render_accuracy, render_figure9, render_table3
+from repro.harness.tables import render_figure9, render_table3
 from repro.sim.clock import MS
 
 

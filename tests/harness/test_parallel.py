@@ -50,6 +50,14 @@ def _build_sleepy(**kwargs):
     return build_example(rounds=3)
 
 
+def _build_hang(**kwargs):
+    # long enough that an orphaned worker is observable after the session
+    # returns; the fix terminates the process instead of waiting it out
+    if _in_worker():
+        time.sleep(30)
+    return build_example(rounds=3)
+
+
 @pytest.fixture
 def injected_app():
     """Register a failure-injection builder; yields a registry.build helper."""
@@ -162,6 +170,27 @@ def test_timed_out_worker_is_retried_and_session_completes(injected_app):
             spec, runs=2, coz_config=_small_cfg(spec.scope), jobs=2, timeout=0.25,
         )
     assert len(out.data.runs) == 2
+
+
+def test_hung_workers_are_terminated_on_timeout(injected_app):
+    """A timed-out run must not orphan its worker: ``Future.cancel()`` is a
+    no-op on a running task and ``shutdown(wait=False)`` leaves the process
+    grinding, so the executor has to terminate the pool outright.  The
+    session still completes (every run retried in the parent) and no pool
+    process survives it."""
+    spec = injected_app("_test_hang", _build_hang)
+    start = time.monotonic()
+    with pytest.warns(ParallelExecutionWarning, match="retrying in parent"):
+        out = profile_app(
+            spec, runs=4, coz_config=_small_cfg(spec.scope), jobs=2, timeout=1.0,
+        )
+    assert len(out.data.runs) == 4
+    # queued tasks must not each burn a full timeout behind hung workers
+    assert time.monotonic() - start < 25.0
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline and multiprocessing.active_children():
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
 
 
 def test_pool_start_failure_degrades_to_serial(monkeypatch):

@@ -2,8 +2,7 @@
 
 from repro.apps.dedup import build_dedup
 from repro.apps.example import build_example
-from repro.sim import MS, Join, Program, SimConfig, Spawn, Work, line
-from repro.sim.sync import Channel
+from repro.sim import MS, line
 
 L = line("d.c:1")
 

@@ -1,6 +1,6 @@
 """Program wrapper and RunResult."""
 
-from repro.sim import MS, Program, Progress, SimConfig, Work, line
+from repro.sim import MS, Program, Progress, Work, line
 
 L = line("p.c:1")
 

@@ -1,6 +1,6 @@
 """Core scheduling: oversubscription, fairness, quantum, frames."""
 
-from repro.sim import MS, US, Join, PopFrame, Program, PushFrame, SimConfig, Spawn, Work, call, line
+from repro.sim import MS, US, Join, PopFrame, Program, SimConfig, Spawn, Work, call, line
 
 L = line("f.c:1")
 
