@@ -1,0 +1,18 @@
+"""Engine performance trajectory (``repro bench`` results).
+
+This package holds the recorded engine-throughput microbenchmark results,
+``BENCH_engine.json``, produced by::
+
+    PYTHONPATH=src python -m repro.cli bench --output benchmarks/perf/BENCH_engine.json
+
+The benchmark matrix and metric definitions live in
+:mod:`repro.harness.bench`; the document schema is described there and in
+DESIGN.md.  The ``history`` list inside the document is the hand-promoted
+cross-PR trajectory (one entry per engine-relevant PR) and is preserved
+across re-runs — see EXPERIMENTS.md for how to read it.
+
+Unlike the ``benchmarks/test_*`` figure suites, nothing here asserts on
+timing: wall-clock numbers from CI runners or shared machines are noisy,
+so the recorded file is refreshed manually from a quiet machine and CI
+only smoke-runs ``repro bench --quick`` to catch crashes and schema drift.
+"""

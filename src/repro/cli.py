@@ -8,6 +8,8 @@ Subcommands:
 * ``overhead <app>`` — Figure 9 style overhead breakdown;
 * ``doctor <app>`` — run the delay-accounting invariant audit
   (:mod:`repro.core.audit`) and print a pass/fail table;
+* ``bench`` — engine throughput microbenchmarks over the fixed app matrix,
+  emitting ``BENCH_engine.json`` (:mod:`repro.harness.bench`);
 * ``list`` — list the registered applications.
 
 Apps are resolved through the public :mod:`repro.apps.registry`; the CLI is
@@ -121,6 +123,39 @@ def cmd_overhead(args: argparse.Namespace) -> int:
     return _finish_audit(audit_report)
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.bench import run_bench, write_bench
+
+    doc = run_bench(
+        quick=args.quick,
+        apps=args.apps or None,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    if args.label:
+        doc["history"] = doc.get("history", []) + [
+            {
+                "label": args.label,
+                "generated_unix": doc["generated_unix"],
+                "summary": doc["summary"],
+            }
+        ]
+    write_bench(doc, args.output)
+    for cell in doc["cells"]:
+        print(
+            f"{cell['name']:<22} wall {cell['wall_s']:>7.3f}s"
+            f"  ({cell['wall_s_per_run']:.3f}s/run)"
+            f"  {cell['events_per_sec']:>9,} ev/s"
+            f"  {cell['virtual_ns_per_wall_s']:>13,} vns/s"
+            f"  {cell['samples']:>7} samples"
+        )
+    legacy = doc["summary"]["speedup_vs_legacy"]
+    if legacy:
+        pairs = ", ".join(f"{app} {ratio:.2f}x" for app, ratio in legacy.items())
+        print(f"coalescing speedup vs legacy quantum path: {pairs}")
+    print(f"bench results written to {args.output}")
+    return 0
+
+
 def cmd_doctor(args: argparse.Namespace) -> int:
     from repro.core.audit import run_doctor
 
@@ -190,6 +225,28 @@ def main(argv: Optional[list] = None) -> int:
     _add_jobs_flag(p)
     _add_audit_flag(p)
     p.set_defaults(fn=cmd_overhead)
+
+    p = sub.add_parser(
+        "bench", help="engine throughput microbenchmarks (BENCH_engine.json)"
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="shrink runs/repeats for CI smoke jobs",
+    )
+    p.add_argument(
+        "--output", default="BENCH_engine.json", metavar="PATH",
+        help="where to write the results document (default: ./BENCH_engine.json)",
+    )
+    p.add_argument(
+        "--app", dest="apps", action="append", metavar="NAME",
+        help="restrict the matrix to this app (repeatable; default: "
+             "example, ferret, sqlite)",
+    )
+    p.add_argument(
+        "--label", metavar="TEXT",
+        help="append this run's summary to the document's cross-PR history",
+    )
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
         "doctor", help="audit the delay-accounting invariants on an app"

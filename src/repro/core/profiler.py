@@ -69,6 +69,9 @@ class CausalProfiler(ProfilerHook):
         )
         self.rng = random.Random(self.cfg.seed)
         self.data = ProfileData()
+        # hot-path bindings (see the before_block/before_wake_op trampolines)
+        self.before_block = self.delays.reconcile
+        self.before_wake_op = self.delays.reconcile
 
         self.engine = None
         self.state = _WAIT
@@ -140,21 +143,35 @@ class CausalProfiler(ProfilerHook):
 
         hits = 0
         in_scope: List[SourceLine] = []
+        first_in_scope = cfg.scope.first_in_scope
+        line_samples = self.line_samples
+        # inlined tracker.on_sample_line (one call per sample otherwise)
+        sampled_lines_get = self.tracker._sampled_lines.get
+        tracker_counts = self.tracker.counts
+        running = self.state == _RUNNING
+        waiting = self.state == _WAIT  # in_scope only feeds selection
+        exp_line = self._line
+        start_ns = self._start_ns
+        prev_chain = prev_attr = None
         for s in samples:
-            attributed = cfg.scope.first_in_scope(s.callchain)
+            chain = s.callchain
+            if chain is prev_chain:
+                attributed = prev_attr
+            else:
+                prev_chain = chain
+                attributed = prev_attr = first_in_scope(chain)
             if attributed is None:
                 continue
-            self.line_samples[attributed] += 1
-            self.tracker.on_sample_line(attributed)
-            in_scope.append(attributed)
+            line_samples[attributed] = line_samples.get(attributed, 0) + 1
+            name = sampled_lines_get(attributed)
+            if name is not None:
+                tracker_counts[name] += 1
+            if waiting:
+                in_scope.append(attributed)
             # only samples taken after the experiment started count as hits;
             # stale buffered samples from before the experiment must not
             # trigger delays (this is what Coz's cooloff period is for)
-            if (
-                self.state == _RUNNING
-                and attributed == self._line
-                and s.time >= self._start_ns
-            ):
+            if running and attributed == exp_line and s.time >= start_ns:
                 hits += 1
 
         pause = 0
@@ -257,6 +274,9 @@ class CausalProfiler(ProfilerHook):
 
     # ------------------------------------------------------------------ delay edges
 
+    # before_block / before_wake_op are pure trampolines into the delay
+    # engine; __init__ rebinds them as instance attributes pointing straight
+    # at delays.reconcile so each sync-op edge costs one call, not two.
     def before_block(self, thread: VThread) -> int:
         return self.delays.reconcile(thread)
 

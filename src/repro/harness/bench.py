@@ -1,0 +1,244 @@
+"""Engine performance microbenchmarks (the ``repro bench`` subcommand).
+
+Every figure and table in this reproduction is bottlenecked on
+``Engine.run``, so the engine's own throughput is a first-class deliverable
+tracked across PRs.  This module runs a fixed matrix of profile-session
+microbenchmarks over the bundled apps and emits ``BENCH_engine.json`` with
+four throughput metrics per cell:
+
+* ``wall_s`` / ``wall_s_per_run`` — best-of-``repeats`` wall-clock time;
+* ``events_per_sec`` — simulator heap events processed per wall second;
+* ``virtual_ns_per_wall_s`` — virtual nanoseconds simulated per wall second
+  (the "how much slower than the hardware" north-star metric);
+* ``samples`` — total IP samples taken (a workload-size sanity check: the
+  simulated work is deterministic, so this must not change run to run).
+
+The matrix covers three apps (example, ferret, sqlite) in five variants:
+
+``session``
+    the public ``run_profile_session`` path, serial, default config —
+    ``ferret/session`` is the canonical acceptance microbench;
+``nosampling``
+    the same session with ``enable_sampling=False`` (engine cost with the
+    sampling machinery off);
+``program``
+    per-run ``Program.run`` loop with a fresh profiler per run (the
+    session path minus merge/report, used as the base for ratios);
+``nojitter``
+    like ``program`` with ``sample_phase_jitter=False``;
+``legacy``
+    like ``program`` with ``coalesce=False``, i.e. the retained
+    quantum-chunked event loop.  ``summary.speedup_vs_legacy`` =
+    ``legacy.wall_s / program.wall_s`` is the reproducible, same-process
+    measure of what chunk coalescing buys on each workload.
+
+Wall-clock numbers are noisy on shared machines; the sim-side metrics
+(``virtual_ns``, ``events``, ``samples``) are bit-deterministic and double
+as a cheap identity check.  ``--quick`` shrinks runs/repeats for CI smoke
+jobs (no timing thresholds there — crash detection only).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.apps import registry
+from repro.core.config import CozConfig
+from repro.core.profiler import CausalProfiler
+from repro.harness.runner import ProfileRequest, run_profile_session
+
+SCHEMA = "bench-engine/v1"
+
+#: the fixed app matrix every ``repro bench`` invocation runs
+MATRIX_APPS = ("example", "ferret", "sqlite")
+
+#: variant name -> (mode, coz overrides, sim overrides)
+VARIANTS = {
+    "session": ("session", {}, {}),
+    "nosampling": ("session", {"enable_sampling": False}, {}),
+    "program": ("program", {}, {}),
+    "nojitter": ("program", {}, {"sample_phase_jitter": False}),
+    "legacy": ("program", {}, {"coalesce": False}),
+}
+
+
+@dataclass
+class BenchCell:
+    """One (app, variant) microbenchmark definition."""
+
+    app: str
+    variant: str
+    runs: int
+    repeats: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.app}/{self.variant}"
+
+
+@dataclass
+class CellResult:
+    """Measured outcome of one cell (see module docstring for metrics)."""
+
+    name: str
+    app: str
+    variant: str
+    mode: str
+    runs: int
+    repeats: int
+    wall_s: float                      # best (min) across repeats
+    wall_s_all: List[float] = field(default_factory=list)
+    virtual_ns: int = 0                # summed over the cell's runs
+    events: int = 0
+    samples: int = 0
+
+    def to_json(self) -> Dict:
+        wall = self.wall_s
+        return {
+            "name": self.name,
+            "app": self.app,
+            "variant": self.variant,
+            "mode": self.mode,
+            "runs": self.runs,
+            "repeats": self.repeats,
+            "wall_s": round(wall, 4),
+            "wall_s_all": [round(w, 4) for w in self.wall_s_all],
+            "wall_s_per_run": round(wall / self.runs, 4),
+            "virtual_ns": self.virtual_ns,
+            "events": self.events,
+            "samples": self.samples,
+            "events_per_sec": round(self.events / wall) if wall else None,
+            "virtual_ns_per_wall_s": round(self.virtual_ns / wall) if wall else None,
+        }
+
+
+def default_matrix(quick: bool = False, apps: Optional[List[str]] = None) -> List[BenchCell]:
+    """The fixed cell matrix (shrunk runs/repeats under ``--quick``)."""
+    runs = 2 if quick else 5
+    repeats = 1 if quick else 3
+    return [
+        BenchCell(app=app, variant=variant, runs=runs, repeats=repeats)
+        for app in (apps or MATRIX_APPS)
+        for variant in VARIANTS
+    ]
+
+
+def _run_session_cell(cell: BenchCell, coz_over: Dict) -> Dict:
+    spec = registry.build(cell.app)
+    cfg = replace(CozConfig(scope=spec.scope), **coz_over) if coz_over else None
+    out = run_profile_session(
+        spec, ProfileRequest(runs=cell.runs, jobs=1, coz_config=cfg)
+    )
+    return {
+        "virtual_ns": sum(r.runtime_ns for r in out.run_results),
+        "events": sum(r.events_processed for r in out.run_results),
+        "samples": sum(r.sample_count for r in out.run_results),
+    }
+
+
+def _run_program_cell(cell: BenchCell, coz_over: Dict, sim_over: Dict) -> Dict:
+    # mirrors harness.parallel._run_task (seed i, profiler seeded the same),
+    # with the engine config overridden per variant
+    spec = registry.build(cell.app)
+    virtual = events = samples = 0
+    for i in range(cell.runs):
+        cfg = replace(CozConfig(scope=spec.scope), seed=i, **coz_over)
+        prof = CausalProfiler(cfg, spec.progress_points, spec.latency_specs)
+        program = spec.build(i)
+        config = replace(program.config, **sim_over) if sim_over else None
+        result = program.run(hook=prof, config=config)
+        virtual += result.runtime_ns
+        events += result.events_processed
+        samples += result.sample_count
+    return {"virtual_ns": virtual, "events": events, "samples": samples}
+
+
+def run_cell(cell: BenchCell) -> CellResult:
+    """Measure one cell: ``repeats`` timed trials, best wall wins."""
+    mode, coz_over, sim_over = VARIANTS[cell.variant]
+    walls: List[float] = []
+    metrics: Dict = {}
+    for _ in range(cell.repeats):
+        t0 = time.perf_counter()
+        if mode == "session":
+            metrics = _run_session_cell(cell, coz_over)
+        else:
+            metrics = _run_program_cell(cell, coz_over, sim_over)
+        walls.append(time.perf_counter() - t0)
+    return CellResult(
+        name=cell.name,
+        app=cell.app,
+        variant=cell.variant,
+        mode=mode,
+        runs=cell.runs,
+        repeats=cell.repeats,
+        wall_s=min(walls),
+        wall_s_all=walls,
+        **metrics,
+    )
+
+
+def run_bench(
+    quick: bool = False,
+    apps: Optional[List[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run the full matrix and return the ``BENCH_engine.json`` document."""
+    cells = []
+    for cell in default_matrix(quick=quick, apps=apps):
+        if progress is not None:
+            progress(f"bench {cell.name} (runs={cell.runs} x{cell.repeats})")
+        cells.append(run_cell(cell))
+
+    by_name = {c.name: c for c in cells}
+    speedup_vs_legacy = {}
+    for app in dict.fromkeys(c.app for c in cells):
+        base = by_name.get(f"{app}/program")
+        legacy = by_name.get(f"{app}/legacy")
+        if base and legacy and base.wall_s:
+            speedup_vs_legacy[app] = round(legacy.wall_s / base.wall_s, 3)
+
+    doc = {
+        "schema": SCHEMA,
+        "generated_unix": int(time.time()),
+        "quick": quick,
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "cells": [c.to_json() for c in cells],
+        "summary": {
+            "speedup_vs_legacy": speedup_vs_legacy,
+            "ferret_session_wall_s": (
+                round(by_name["ferret/session"].wall_s, 4)
+                if "ferret/session" in by_name
+                else None
+            ),
+        },
+        "history": [],
+    }
+    return doc
+
+
+def write_bench(doc: Dict, path: str) -> None:
+    """Write the document, carrying forward any recorded ``history``.
+
+    ``history`` is the cross-PR perf trajectory: a list of hand-promoted
+    summary entries (see EXPERIMENTS.md).  A fresh bench run must never
+    erase it, so the writer merges the existing file's history in.
+    """
+    try:
+        with open(path) as f:
+            prev = json.load(f)
+        history = prev.get("history", [])
+    except (OSError, ValueError):
+        history = []
+    doc = dict(doc, history=history + list(doc.get("history", [])))
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")

@@ -149,6 +149,7 @@ def _summarize(result: RunResult) -> Dict[str, Any]:
         "progress_counts": dict(result.progress_counts),
         "thread_count": result.thread_count,
         "sample_count": result.sample_count,
+        "events_processed": result.events_processed,
     }
 
 

@@ -19,6 +19,45 @@ event.  It is deliberately shaped like the slice of the system Coz lives in:
 
 Determinism: given the same program and configuration, event ordering is a
 pure function of (time, sequence-number), so runs are exactly repeatable.
+
+Hot path
+--------
+
+The inner loop is built for throughput without changing any observable
+result (see ``tests/sim/test_golden_trace.py`` for the bit-identity
+referee):
+
+* **Typed events.** Heap entries are plain tuples
+  ``(when, seq, kind, obj, arg)`` where ``kind`` is a small integer code
+  dispatched by an ``if`` ladder in :meth:`run`; completion events carry the
+  thread and its ``chunk_token`` directly instead of closing over them, so
+  the per-event closure allocation of the old ``(when, seq, lambda)`` scheme
+  is gone.  Only :meth:`call_at` timers (profiler experiment boundaries —
+  rare) still carry a callable.
+
+* **Chunk coalescing.** A quantum exists for two reasons: round-robin
+  fairness when threads wait for a core, and bounded latency for sample
+  delivery.  When neither applies — the ready queue is empty, the activity
+  is not subject to interference rescaling — the engine books one large
+  chunk bounded by the next *interesting* point: the end of the activity,
+  or the analytically-computed nominal-CPU boundary where the thread's
+  sample buffer reaches ``sample_batch`` and the legacy engine would have
+  flushed.  Because legacy flushes only ever happen on the quantum grid
+  (multiples of ``quantum_ns`` of CPU from the activity start), the
+  coalesced chunk ends at exactly the grid point where the legacy flush
+  fired, and the sampler's timestamp interpolation reproduces every sample
+  time bit-for-bit.  An in-flight mega-chunk is *truncated* back to its
+  next grid boundary — via the existing ``chunk_token`` invalidation
+  machinery — when fairness suddenly matters (a thread becomes ready on a
+  saturated machine) or when a profiler timer hands the running thread a
+  pending pause/CPU charge, which the legacy engine would have honoured at
+  its next quantum boundary.  Set ``SimConfig.coalesce=False`` to force the
+  legacy per-quantum path (the golden-trace tests run both and require
+  identical output).
+
+* **Op dispatch.** ``isinstance`` ladders are replaced by a per-op-class
+  dispatch table built at engine construction, and op continuations are
+  ``(method, op)`` pairs instead of fresh lambdas.
 """
 
 from __future__ import annotations
@@ -28,7 +67,7 @@ import math
 import random
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, List, Optional, Set
+from typing import Any, Callable, Deque, List, Optional, Set, Tuple
 
 from repro.sim import ops as O
 from repro.sim.clock import MS, US
@@ -44,6 +83,13 @@ FINISHED = ThreadState.FINISHED
 READY = ThreadState.READY
 RUNNING = ThreadState.RUNNING
 SLEEPING = ThreadState.SLEEPING
+
+# Typed heap-event kind codes: (when, seq, kind, obj, arg).
+_EV_CHUNK = 0      # obj=thread, arg=chunk_token  -> chunk completed
+_EV_PAUSE = 1      # obj=thread, arg=chunk_token  -> inserted pause elapsed
+_EV_OVERHEAD = 2   # obj=thread, arg=chunk_token  -> profiler CPU slice done
+_EV_SLEEP = 3      # obj=thread, arg=chunk_token  -> timed suspension over
+_EV_TIMER = 4      # obj=callable                 -> profiler-thread timer
 
 
 @dataclass
@@ -78,6 +124,10 @@ class SimConfig:
     #: also prevents aliasing between aligned sampling clocks and periodic
     #: work, a bias source the paper warns about)
     sample_phase_jitter: bool = True
+    #: coalesce on-CPU chunks past the quantum whenever fairness and sample
+    #: delivery do not require quantum granularity (bit-identical results;
+    #: False forces the legacy per-quantum inner loop)
+    coalesce: bool = True
 
 
 class Engine:
@@ -90,7 +140,7 @@ class Engine:
         self.now: int = 0
         self.rng = random.Random(self.cfg.seed)
         self._seq: int = 0
-        self._heap: List = []
+        self._heap: List[Tuple] = []
         self._timer_count: int = 0  # pending non-thread (timer) events
 
         self.threads: List[VThread] = []
@@ -104,7 +154,9 @@ class Engine:
         self.sampler = Sampler(self.cfg.sample_period_ns, self.cfg.sample_batch)
         self.sampling_enabled = False
         self._observer_sampling = False
+        self._sampling_live = False
         self._call_overhead_ns = 0
+        self._coalesce = bool(self.cfg.coalesce)
 
         #: number of threads currently marked as spinning
         self.interference = 0
@@ -116,9 +168,41 @@ class Engine:
         self.total_delay_ns = 0
         #: total nominal CPU time executed across all threads
         self.total_cpu_ns = 0
+        #: heap events processed (perf observability, see `repro bench`)
+        self.events_processed = 0
 
         self.main_thread: Optional[VThread] = None
         self._started = False
+
+        # per-op-class setup plans: type -> (cpu_cost_ns, completion_action,
+        # blocking, waking); a None action marks Work, which is special-cased
+        # in _setup_op_body.  The blocking/waking class flags are folded into
+        # the plan so _setup_op resolves everything with one dict lookup.
+        cfg = self.cfg
+        base_table = {
+            O.Work: (0, None),
+            O.Lock: (cfg.lock_cost_ns, self._do_lock),
+            O.TryLock: (cfg.lock_cost_ns, self._do_trylock),
+            O.Unlock: (cfg.lock_cost_ns, self._do_unlock),
+            O.CondWait: (cfg.sync_cost_ns, self._do_cond_wait),
+            O.Signal: (cfg.sync_cost_ns, self._do_signal),
+            O.Broadcast: (cfg.sync_cost_ns, self._do_broadcast),
+            O.BarrierWait: (cfg.sync_cost_ns, self._do_barrier_wait),
+            O.SemWait: (cfg.sync_cost_ns, self._do_sem_wait),
+            O.SemPost: (cfg.sync_cost_ns, self._do_sem_post),
+            O.Join: (0, self._do_join),
+            O.Sleep: (0, self._do_sleep),
+            O.IO: (0, self._do_io),
+            O.Spawn: (cfg.spawn_cost_ns, self._do_spawn),
+            O.Progress: (0, self._do_progress),
+            O.PushFrame: (0, self._do_push_frame),
+            O.PopFrame: (0, self._do_pop_frame),
+            O.SetSpinning: (0, self._do_set_spinning),
+        }
+        self._op_table = {
+            klass: (cost, action, klass.blocking, klass.waking)
+            for klass, (cost, action) in base_table.items()
+        }
 
     # ------------------------------------------------------------------ setup
 
@@ -136,6 +220,7 @@ class Engine:
         )
         if getattr(obs, "wants_samples", False):
             self._observer_sampling = True
+            self._sampling_live = True
 
     def watch_line(self, line: SourceLine) -> None:
         """Register a breakpoint progress point on ``line``."""
@@ -143,6 +228,7 @@ class Engine:
 
     def enable_sampling(self) -> None:
         self.sampling_enabled = True
+        self._sampling_live = True
 
     # ------------------------------------------------------------------ timers
 
@@ -151,19 +237,58 @@ class Engine:
         if when < self.now:
             when = self.now
         self._timer_count += 1
-
-        def wrapped() -> None:
-            self._timer_count -= 1
-            fn()
-
-        self._push(when, wrapped)
+        self._push_event(when, _EV_TIMER, fn, 0)
 
     def call_after(self, delay: int, fn: Callable[[], None]) -> None:
         self.call_at(self.now + delay, fn)
 
-    def _push(self, when: int, fn: Callable[[], None]) -> None:
+    def _push_event(
+        self,
+        when: int,
+        kind: int,
+        obj,
+        arg: int,
+        lp: Optional[int] = None,
+        sub: Optional[int] = None,
+    ) -> None:
+        """Schedule a heap event.
+
+        Events are ordered by ``(when, lp, sub, seq)``.  With the defaults
+        (``lp`` = push time, ``sub`` = seq) this is identical to plain
+        ``(when, seq)`` order, since seq grows monotonically with time — the
+        exact ordering of the pre-coalescing engine, and the only ordering
+        used when ``coalesce=False``.
+
+        Coalesced chunk-completion events supply both fields so that ties at
+        the same virtual instant resolve exactly as the legacy per-quantum
+        engine resolved them:
+
+        * ``lp`` — the virtual time at which the legacy engine would have
+          pushed its final partial chunk for the same span: the last
+          quantum-grid boundary strictly before ``when``.  Legacy events
+          pushed at different times are ordered by push time, and ``lp``
+          reproduces that.
+        * ``sub`` — the thread's *chain key*: the seq of the first chunk
+          pushed after the thread was last dispatched from the ready queue.
+          Legacy chunk events pushed at the same instant keep their relative
+          order from boundary to boundary (each completion pushes the next
+          chunk within its own processing step), so the order among
+          lock-stepped chains is the order in which the chains were born;
+          the chain key is exactly that birth order.
+        """
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, fn))
+        heapq.heappush(
+            self._heap,
+            (
+                when,
+                self.now if lp is None else lp,
+                self._seq if sub is None else sub,
+                self._seq,
+                kind,
+                obj,
+                arg,
+            ),
+        )
 
     # ------------------------------------------------------------------ threads
 
@@ -174,7 +299,7 @@ class Engine:
         parent: Optional[VThread] = None,
     ) -> VThread:
         """Create a thread and make it runnable."""
-        t = VThread(body, name=name, parent=parent)
+        t = VThread(body, name=name, parent=parent, tid=len(self.threads))
         if self.cfg.sample_phase_jitter:
             # desynchronize sampling clocks across threads, like real timers
             t.sample_accum = self.rng.randrange(self.cfg.sample_period_ns)
@@ -205,22 +330,101 @@ class Engine:
             obs.on_run_start(self)
 
         max_ns = self.cfg.max_virtual_ns
+        heap = self._heap
+        pop = heapq.heappop
         self._dispatch()
+        # Loop-invariant hoists: sampling/observer wiring is fixed once the
+        # run has started (on_run_start above is the last chance to change
+        # it), and the ready/running containers are mutated in place.
+        ready = self.ready
+        running = self.running
+        observers = self.observers
+        sampler = self.sampler
+        period_ns = sampler.period_ns
+        batch_size = sampler.batch_size
+        sampling_live = self._sampling_live
+        coalesce = self._coalesce
+        events = 0
         while self._alive:
-            if not self._heap:
+            if not heap:
+                self.events_processed += events
+                events = 0
                 self._raise_deadlock()
-            when, _seq, fn = heapq.heappop(self._heap)
+            when, _lp, _sub, _seq, kind, obj, arg = pop(heap)
             if when > self.now:
                 self.now = when
-            fn()
-            self._dispatch()
+            events += 1
+            if kind == _EV_CHUNK:
+                if obj.chunk_token == arg and obj.state is RUNNING:
+                    # inlined chunk completion — the most frequent event by
+                    # far: account the chunk's CPU (the _account_cpu fast
+                    # path, kept in sync), then requeue for round-robin
+                    # fairness or keep driving the thread
+                    nominal = obj.chunk_nominal
+                    if nominal > 0:
+                        obj.activity_remaining -= nominal
+                        obj.cpu_ns += nominal
+                        self.total_cpu_ns += nominal
+                        if observers:
+                            func = obj.current_func()
+                            for obs in observers:
+                                obs.on_work(
+                                    obj, obj.activity_line, func, nominal
+                                )
+                        if sampling_live:
+                            accum = obj.sample_accum + nominal
+                            if (
+                                accum < period_ns
+                                and len(obj.sample_buffer) < batch_size
+                            ):
+                                obj.sample_accum = accum
+                            else:
+                                batch = sampler.account(
+                                    obj, nominal, self.now, True,
+                                    rate=obj.chunk_rate,
+                                )
+                                if batch is not None:
+                                    self._deliver_batch(obj, batch)
+                    obj.chunk_nominal = 0
+                    if obj.activity_remaining > 0 and ready:
+                        running.discard(obj)
+                        obj.state = READY
+                        ready.append(obj)
+                    else:
+                        self._drive(obj)
+            elif kind == _EV_SLEEP:
+                if obj.chunk_token == arg and obj.state is SLEEPING:
+                    self._sleeping -= 1
+                    obj.state = BLOCKED  # transit state so _wake() is legal
+                    self._wake(obj, waker=None)
+            elif kind == _EV_PAUSE:
+                if obj.chunk_token == arg and obj.state is SLEEPING:
+                    self._make_ready(obj)
+            elif kind == _EV_OVERHEAD:
+                if obj.chunk_token == arg and obj.state is RUNNING:
+                    self._drive(obj)
+            else:  # _EV_TIMER
+                self._timer_count -= 1
+                obj()
+                if coalesce:
+                    # a timer (experiment boundary) may have handed running
+                    # threads a pending pause/CPU charge; the legacy engine
+                    # honours those at the next quantum boundary, so pull any
+                    # in-flight mega-chunk back to its grid
+                    self._truncate_pending()
+            if ready:
+                self._dispatch()
             if max_ns is not None and self.now > max_ns:
+                self.events_processed += events
                 raise SimulationError(
                     f"virtual time exceeded max_virtual_ns ({self.now} > {max_ns})"
                 )
-            if self._alive and not self.running and not self.ready:
+            if self._alive and not running and not ready:
                 if self._sleeping == 0 and self._timer_count == 0:
+                    self.events_processed += events
+                    events = 0
                     self._raise_deadlock()
+        self.events_processed += events
 
         if self.hook is not None:
             self.hook.on_run_end(self)
@@ -241,13 +445,24 @@ class Engine:
 
     def _dispatch(self) -> None:
         """Assign ready threads to free cores and drive them."""
-        while self.ready and len(self.running) < self.cfg.cores:
-            t = self.ready.popleft()
+        ready = self.ready
+        if not ready:
+            return
+        running = self.running
+        cores = self.cfg.cores
+        while ready and len(running) < cores:
+            t = ready.popleft()
             if t.state is not READY:  # defensive; should not happen
                 continue
             t.state = RUNNING
-            self.running.add(t)
+            t.chain_key = 0  # leaving the ready queue starts a new chunk chain
+            running.add(t)
             self._drive(t)
+        if ready and self._coalesce:
+            # saturated machine with waiters: round-robin fairness is live
+            # again, so no running thread may keep a chunk past its next
+            # quantum-grid boundary
+            self._truncate_for_fairness()
 
     def _drive(self, t: VThread) -> None:
         """Run ``t`` (RUNNING, on a core) until it needs time or leaves the CPU."""
@@ -258,13 +473,33 @@ class Engine:
             if t.pending_pause_ns > 0:
                 self._start_pause(t)
                 return
-            if t.activity_remaining > 0:
+            nominal = t.activity_remaining
+            if nominal > 0:
+                cfg = self.cfg
+                if nominal <= cfg.quantum_ns and (
+                    not t.activity_memory_bound
+                    or cfg.interference_coeff == 0.0
+                ):
+                    # inlined sub-quantum chunk start (the dominant case for
+                    # fine-grained workloads) — see _begin_chunk for the rest
+                    t.chunk_start = now = self.now
+                    t.chunk_nominal = nominal
+                    t.chunk_rate = 1.0
+                    t.chunk_token = tok = t.chunk_token + 1
+                    if t.chain_key == 0:
+                        t.chain_key = self._seq + 1
+                    self._seq = seq = self._seq + 1
+                    heapq.heappush(
+                        self._heap,
+                        (now + nominal, now, seq, seq, _EV_CHUNK, t, tok),
+                    )
+                    return
                 self._begin_chunk(t)
                 return
             cont = t.continuation
             if cont is not None:
                 t.continuation = None
-                cont()
+                cont[0](t, cont[1])
                 continue
             self._advance(t)
 
@@ -280,29 +515,113 @@ class Engine:
         return 1.0 + self.cfg.interference_coeff * level
 
     def _begin_chunk(self, t: VThread) -> None:
-        nominal = min(t.activity_remaining, self.cfg.quantum_ns)
-        rate = self._rate(t)
+        cfg = self.cfg
+        q = cfg.quantum_ns
+        nominal = t.activity_remaining
+        if (
+            self._coalesce
+            and nominal > q
+            and not self.ready
+            and not (t.activity_memory_bound and cfg.interference_coeff)
+        ):
+            # Coalesced fast path (rate is exactly 1.0 here: the activity is
+            # either not memory-bound or interference is disabled).  Bound
+            # the chunk by the next interesting point on the quantum grid.
+            if self._sampling_live:
+                sampler = self.sampler
+                # nominal-CPU offset at which the sample buffer reaches the
+                # batch size (the legacy engine flushes at the first quantum
+                # boundary at/after that instant)
+                x0 = (
+                    (sampler.batch_size - len(t.sample_buffer))
+                    * sampler.period_ns
+                    - t.sample_accum
+                )
+                bound = q if x0 <= q else -(-x0 // q) * q
+                if bound < nominal:
+                    nominal = bound
+            if cfg.max_virtual_ns is not None and nominal > q:
+                # keep the runaway guard firing at (nearly) the same instant
+                # as the quantum-chunked engine
+                cap = ((cfg.max_virtual_ns - self.now) // q + 1) * q
+                if cap < q:
+                    cap = q
+                if cap < nominal:
+                    nominal = cap
+            ck = t.chain_key
+            if ck == 0:
+                ck = t.chain_key = self._seq + 1
+            t.chunk_start = self.now
+            t.chunk_nominal = nominal
+            t.chunk_token += 1
+            t.chunk_rate = 1.0
+            when = self.now + nominal
+            rem = (nominal - 1) % q + 1  # legacy final partial-chunk length
+            self._seq = seq = self._seq + 1
+            heapq.heappush(
+                self._heap,
+                (when, when - rem, ck, seq, _EV_CHUNK, t, t.chunk_token),
+            )
+            return
+        # legacy quantum path (also taken under fairness/interference)
+        if nominal > q:
+            nominal = q
+        if not t.activity_memory_bound or cfg.interference_coeff == 0.0:
+            rate = 1.0
+            real = nominal
+        else:
+            rate = self._rate(t)
+            real = nominal if rate == 1.0 else int(math.ceil(nominal * rate))
         t.chunk_start = self.now
         t.chunk_nominal = nominal
         t.chunk_rate = rate
         t.chunk_token += 1
-        token = t.chunk_token
-        real = int(math.ceil(nominal * rate))
-        self._push(self.now + real, lambda: self._chunk_done(t, token))
+        if t.chain_key == 0:
+            # establish the chain's birth order even on the quantum path, so
+            # a later coalesced chunk of this chain ties correctly; the
+            # quantum push itself keeps the default (push-time, seq) key,
+            # which reproduces legacy ordering exactly
+            t.chain_key = self._seq + 1
+        now = self.now
+        self._seq = seq = self._seq + 1
+        heapq.heappush(
+            self._heap, (now + real, now, seq, seq, _EV_CHUNK, t, t.chunk_token)
+        )
 
-    def _chunk_done(self, t: VThread, token: int) -> None:
-        if t.chunk_token != token or t.state is not RUNNING:
-            return  # stale event after a rescale
-        self._account_cpu(t, t.chunk_nominal, allow_flush=True)
-        t.chunk_nominal = 0
-        # Round-robin fairness: if others are waiting for a core and this
-        # activity still has work, go to the back of the ready queue.
-        if t.activity_remaining > 0 and self.ready:
-            self.running.discard(t)
-            t.state = READY
-            self.ready.append(t)
-            return
-        self._drive(t)
+    def _truncate_chunk(self, t: VThread, q: int) -> None:
+        """Pull an in-flight coalesced chunk back to its next grid boundary."""
+        nominal = t.chunk_nominal
+        elapsed = self.now - t.chunk_start  # == consumed CPU (rate is 1.0)
+        bound = (elapsed // q + 1) * q
+        if bound >= nominal:
+            return  # already ends at/before the next boundary
+        t.chunk_nominal = bound
+        t.chunk_token += 1
+        when = t.chunk_start + bound
+        self._push_event(
+            when, _EV_CHUNK, t, t.chunk_token, lp=when - q, sub=t.chain_key
+        )
+
+    def _mega_chunks(self, pending_only: bool) -> List[VThread]:
+        q = self.cfg.quantum_ns
+        cands = [
+            t for t in self.running
+            if t.chunk_nominal > q and t.chunk_rate == 1.0
+            and (not pending_only or t.pending_pause_ns or t.pending_cpu_ns)
+        ]
+        if len(cands) > 1:
+            cands.sort(key=lambda th: th.tid)
+        return cands
+
+    def _truncate_for_fairness(self) -> None:
+        q = self.cfg.quantum_ns
+        for t in self._mega_chunks(pending_only=False):
+            self._truncate_chunk(t, q)
+
+    def _truncate_pending(self) -> None:
+        q = self.cfg.quantum_ns
+        for t in self._mega_chunks(pending_only=True):
+            self._truncate_chunk(t, q)
 
     def _account_cpu(self, t: VThread, nominal: int, allow_flush: bool) -> None:
         """Book ``nominal`` executed CPU ns: accounting, observers, sampling."""
@@ -315,8 +634,15 @@ class Engine:
             func = t.current_func()
             for obs in self.observers:
                 obs.on_work(t, t.activity_line, func, nominal)
-        if self.sampling_enabled or self._observer_sampling:
-            batch = self.sampler.account(
+        if self._sampling_live:
+            sampler = self.sampler
+            accum = t.sample_accum + nominal
+            if accum < sampler.period_ns and len(t.sample_buffer) < sampler.batch_size:
+                # no sample fires in this span and the buffer cannot flush:
+                # skip the sampler call entirely (the common sub-period case)
+                t.sample_accum = accum
+                return
+            batch = sampler.account(
                 t, nominal, self.now, allow_flush, rate=t.chunk_rate
             )
             if batch is not None:
@@ -342,13 +668,11 @@ class Engine:
         self.total_delay_ns += pause
         self._go_offcpu(t, SLEEPING, "inserted-pause")
         t.chunk_token += 1
-        token = t.chunk_token
-        self._push(self.now + pause, lambda: self._pause_done(t, token))
-
-    def _pause_done(self, t: VThread, token: int) -> None:
-        if t.chunk_token != token or t.state is not SLEEPING:
-            return
-        self._make_ready(t)
+        now = self.now
+        self._seq = seq = self._seq + 1
+        heapq.heappush(
+            self._heap, (now + pause, now, seq, seq, _EV_PAUSE, t, t.chunk_token)
+        )
 
     def _start_overhead_slice(self, t: VThread) -> None:
         """Charge pending profiler CPU cost (sample processing, startup)."""
@@ -358,14 +682,11 @@ class Engine:
         t.cpu_ns += dur
         self.total_cpu_ns += dur
         t.chunk_token += 1
-        token = t.chunk_token
-
-        def done() -> None:
-            if t.chunk_token != token or t.state is not RUNNING:
-                return
-            self._drive(t)
-
-        self._push(self.now + dur, done)
+        now = self.now
+        self._seq = seq = self._seq + 1
+        heapq.heappush(
+            self._heap, (now + dur, now, seq, seq, _EV_OVERHEAD, t, t.chunk_token)
+        )
 
     # ------------------------------------------------------------------ interference
 
@@ -378,8 +699,14 @@ class Engine:
             self._rescale_running()
 
     def _rescale_running(self) -> None:
-        """Re-time in-flight memory-bound chunks after an interference change."""
-        for t in list(self.running):
+        """Re-time in-flight memory-bound chunks after an interference change.
+
+        Iterates in tid order: the running set's natural iteration order
+        depends on hash-table layout, and rescale accounting emits observer
+        events and heap pushes, so a deterministic order is required for
+        engines to behave identically regardless of process history.
+        """
+        for t in sorted(self.running, key=lambda th: th.tid):
             if not t.activity_memory_bound or t.chunk_nominal <= 0:
                 continue
             elapsed = self.now - t.chunk_start
@@ -391,9 +718,13 @@ class Engine:
             t.chunk_nominal = remaining_chunk
             t.chunk_rate = rate
             t.chunk_token += 1
-            token = t.chunk_token
             real = int(math.ceil(remaining_chunk * rate))
-            self._push(self.now + real, lambda t=t, token=token: self._chunk_done(t, token))
+            # a rescale push happens inside a foreign processing step, which
+            # re-establishes event order from this instant — restart the chain
+            t.chain_key = self._seq + 1
+            self._push_event(
+                self.now + real, _EV_CHUNK, t, t.chunk_token, sub=t.chain_key
+            )
 
     # ------------------------------------------------------------------ state changes
 
@@ -431,106 +762,154 @@ class Engine:
     # ------------------------------------------------------------------ generator advance
 
     def _advance(self, t: VThread) -> None:
-        """Pull the next op from the thread's generator and set it up."""
-        try:
-            op = t.gen.send(t.send_value)
-        except StopIteration as stop:
-            t.exit_value = stop.value
-            self._begin_exit(t)
-            return
-        except Exception:
-            # surface app bugs with thread context
-            raise
-        t.send_value = None
-        t.current_op = op
-        self._setup_op(t, op)
+        """Pull ops from the thread's generator and set them up.
 
-    def _setup_op(self, t: VThread, op: O.Op) -> None:
+        Loops over *instant* ops (zero-cost, neither blocking nor waking:
+        frame markers, progress visits, spin toggles) without bouncing
+        through ``_drive``, and returns to the scheduler as soon as an op
+        needs virtual time, a sync edge, or the thread left the CPU.
+        """
+        table = self._op_table
+        while True:
+            try:
+                op = t.gen.send(t.send_value)
+            except StopIteration as stop:
+                t.exit_value = stop.value
+                self._begin_exit(t)
+                return
+            except Exception:
+                # surface app bugs with thread context
+                raise
+            t.send_value = None
+            t.current_op = op
+            cls = op.__class__
+            if cls is O.Work:
+                # fast path for the by-far most common op: Work is neither
+                # blocking nor waking, so the flush / pre-pause logic in
+                # _setup_op can never apply
+                line = op.line
+                if line in self._line_watchers and self.hook is not None:
+                    self.hook.on_line_visit(t, line)
+                if line is not t.activity_line:
+                    t.activity_line = line
+                    t.chain_cache = None
+                t.activity_memory_bound = op.memory_bound
+                t.activity_remaining = op.duration
+                return
+            plan = table.get(cls)
+            if plan is None:
+                plan = self._resolve_op_plan(t, op)
+            cost, action, blocking, waking = plan
+            if blocking or waking or cost > 0 or action is None:
+                self._setup_op(t, op, plan)
+                return
+            # instant op: run its action and keep pulling unless it changed
+            # the thread's schedule (a hook or rescale may add pendings)
+            action(t, op)
+            if (
+                t.state is not RUNNING
+                or t.pending_pause_ns > 0
+                or t.pending_cpu_ns > 0
+                or t.activity_remaining > 0
+                or t.continuation is not None
+            ):
+                return
+
+    def _setup_op(self, t: VThread, op: O.Op, plan=None) -> None:
         """Decide pre-pause, CPU cost, and completion action for ``op``."""
+        if plan is None:
+            plan = self._op_table.get(op.__class__)
+            if plan is None:
+                plan = self._resolve_op_plan(t, op)
+        cost, action, blocking, waking = plan
+        if blocking or waking:
+            if (
+                self.cfg.flush_samples_on_block
+                and t.sample_buffer
+                and self._sampling_live
+            ):
+                self._deliver_batch(t, self.sampler.drain(t))
+            hook = self.hook
+            if hook is not None:
+                pre = 0
+                if blocking:
+                    pre += hook.before_block(t)
+                if waking:
+                    pre += hook.before_wake_op(t)
+                if pre > 0:
+                    t.pending_pause_ns += pre
+                    # after the pause, run the op body (cost + action)
+                    t.continuation = (self._setup_op_body, op)
+                    return
+        # inlined _setup_op_body (hot path: one call per op) — keep in sync
+        if action is None:  # Work: activity fields set directly, no cost op
+            line = op.line
+            if line in self._line_watchers and self.hook is not None:
+                self.hook.on_line_visit(t, line)
+            if line is not t.activity_line:
+                t.activity_line = line
+                t.chain_cache = None
+            t.activity_memory_bound = op.memory_bound
+            t.activity_remaining = op.duration
+            return
+        if cost > 0:
+            line = getattr(op, "line", None)
+            if line is None:
+                line = RUNTIME_LINE
+            t.activity_remaining = cost
+            if line is not t.activity_line:
+                t.activity_line = line
+                t.chain_cache = None
+            t.activity_memory_bound = False
+            t.continuation = (action, op)
+        else:
+            action(t, op)
+
+    def _setup_op_body(self, t: VThread, op: O.Op) -> None:
+        plan = self._op_table.get(op.__class__)
+        if plan is None:
+            plan = self._resolve_op_plan(t, op)
+        cost, action, _blocking, _waking = plan
+        if action is None:  # Work: activity fields set directly, no cost op
+            line = op.line
+            if line in self._line_watchers and self.hook is not None:
+                self.hook.on_line_visit(t, line)
+            if line is not t.activity_line:
+                t.activity_line = line
+                t.chain_cache = None
+            t.activity_memory_bound = op.memory_bound
+            t.activity_remaining = op.duration
+            return
+        if cost > 0:
+            line = getattr(op, "line", None)
+            if line is None:
+                line = RUNTIME_LINE
+            t.activity_remaining = cost
+            if line is not t.activity_line:
+                t.activity_line = line
+                t.chain_cache = None
+            t.activity_memory_bound = False
+            t.continuation = (action, op)
+        else:
+            action(t, op)
+
+    def _resolve_op_plan(self, t: VThread, op: O.Op):
+        """Slow path: resolve op subclasses through the MRO, then memoize."""
         if not isinstance(op, O.Op):
             raise SimulationError(
                 f"thread {t.name} yielded {op!r}, which is not a simulator op"
             )
-        hook = self.hook
-        if (
-            self.cfg.flush_samples_on_block
-            and (op.blocking or op.waking)
-            and t.sample_buffer
-            and (self.sampling_enabled or self._observer_sampling)
-        ):
-            self._deliver_batch(t, self.sampler.drain(t))
-        pre = 0
-        if hook is not None:
-            if op.blocking:
-                pre += hook.before_block(t)
-            if op.waking:
-                pre += hook.before_wake_op(t)
-        if pre > 0:
-            t.pending_pause_ns += pre
-            # after the pause, run the op body (cost + action)
-            t.continuation = lambda: self._setup_op_body(t, op)
-            return
-        self._setup_op_body(t, op)
-
-    def _setup_op_body(self, t: VThread, op: O.Op) -> None:
-        cost, line, action = self._op_plan(t, op)
-        if cost > 0:
-            t.activity_remaining = cost
-            t.activity_line = line if line is not None else RUNTIME_LINE
-            t.activity_memory_bound = False
-            t.continuation = action
-        elif action is not None:
-            action()
-
-    # The planner returns (cpu_cost, attribution_line, completion_action).
-    def _op_plan(self, t: VThread, op: O.Op):
-        cfg = self.cfg
-        if isinstance(op, O.Work):
-            if op.line in self._line_watchers and self.hook is not None:
-                self.hook.on_line_visit(t, op.line)
-            t.activity_line = op.line
-            t.activity_memory_bound = op.memory_bound
-            t.activity_remaining = op.duration
-            return 0, None, None  # activity fields already set
-        if isinstance(op, O.Lock):
-            return cfg.lock_cost_ns, op.line, lambda: self._do_lock(t, op.mutex)
-        if isinstance(op, O.TryLock):
-            return cfg.lock_cost_ns, op.line, lambda: self._do_trylock(t, op.mutex)
-        if isinstance(op, O.Unlock):
-            return cfg.lock_cost_ns, op.line, lambda: self._do_unlock(t, op.mutex)
-        if isinstance(op, O.CondWait):
-            return cfg.sync_cost_ns, op.line, lambda: self._do_cond_wait(t, op.cond, op.mutex)
-        if isinstance(op, O.Signal):
-            return cfg.sync_cost_ns, op.line, lambda: self._do_signal(t, op.cond)
-        if isinstance(op, O.Broadcast):
-            return cfg.sync_cost_ns, op.line, lambda: self._do_broadcast(t, op.cond)
-        if isinstance(op, O.BarrierWait):
-            return cfg.sync_cost_ns, op.line, lambda: self._do_barrier_wait(t, op.barrier)
-        if isinstance(op, O.SemWait):
-            return cfg.sync_cost_ns, op.line, lambda: self._do_sem_wait(t, op.sem)
-        if isinstance(op, O.SemPost):
-            return cfg.sync_cost_ns, op.line, lambda: self._do_sem_post(t, op.sem)
-        if isinstance(op, O.Join):
-            return 0, None, lambda: self._do_join(t, op.thread)
-        if isinstance(op, O.Sleep):
-            return 0, None, lambda: self._do_sleep(t, op.duration, "sleep")
-        if isinstance(op, O.IO):
-            return 0, None, lambda: self._do_sleep(t, op.duration, "io")
-        if isinstance(op, O.Spawn):
-            return cfg.spawn_cost_ns, None, lambda: self._do_spawn(t, op)
-        if isinstance(op, O.Progress):
-            return 0, None, lambda: self._do_progress(t, op.name)
-        if isinstance(op, O.PushFrame):
-            return 0, None, lambda: self._do_push_frame(t, op)
-        if isinstance(op, O.PopFrame):
-            return 0, None, lambda: self._do_pop_frame(t)
-        if isinstance(op, O.SetSpinning):
-            return 0, None, lambda: self._set_spinning(t, op.spinning)
+        for klass in op.__class__.__mro__:
+            plan = self._op_table.get(klass)
+            if plan is not None:
+                self._op_table[op.__class__] = plan
+                return plan
         raise SimulationError(f"thread {t.name} yielded unknown op {op!r}")
 
     # ------------------------------------------------------------------ op actions
 
-    def _do_lock(self, t: VThread, m: Mutex) -> None:
+    def _do_lock(self, t: VThread, op) -> None:
+        m: Mutex = op.mutex
         if m.owner is None:
             m.owner = t
             m.acquires += 1
@@ -539,7 +918,8 @@ class Engine:
             m.contended_acquires += 1
             self._block(t, f"mutex:{m.name}")
 
-    def _do_trylock(self, t: VThread, m: Mutex) -> None:
+    def _do_trylock(self, t: VThread, op) -> None:
+        m: Mutex = op.mutex
         if m.owner is None:
             m.owner = t
             m.acquires += 1
@@ -547,7 +927,10 @@ class Engine:
         else:
             t.send_value = False
 
-    def _do_unlock(self, t: VThread, m: Mutex) -> None:
+    def _do_unlock(self, t: VThread, op) -> None:
+        self._unlock(t, op.mutex)
+
+    def _unlock(self, t: VThread, m: Mutex) -> None:
         if m.owner is not t:
             raise SyncError(
                 f"{t.name} unlocking mutex {m.name} owned by "
@@ -561,11 +944,13 @@ class Engine:
         else:
             m.owner = None
 
-    def _do_cond_wait(self, t: VThread, c: CondVar, m: Mutex) -> None:
+    def _do_cond_wait(self, t: VThread, op) -> None:
+        c: CondVar = op.cond
+        m: Mutex = op.mutex
         if m.owner is not t:
             raise SyncError(f"{t.name} waiting on {c.name} without holding {m.name}")
         # release the mutex (may wake a lock waiter)
-        self._do_unlock(t, m)
+        self._unlock(t, m)
         c.waiters.append((t, m))
         self._block(t, f"cond:{c.name}")
 
@@ -580,19 +965,22 @@ class Engine:
             m.contended_acquires += 1
             w.blocked_on = f"mutex:{m.name}"
 
-    def _do_signal(self, t: VThread, c: CondVar) -> None:
+    def _do_signal(self, t: VThread, op) -> None:
+        c: CondVar = op.cond
         c.signals += 1
         if c.waiters:
             w, m = c.waiters.popleft()
             self._transfer_cond_waiter(t, w, m)
 
-    def _do_broadcast(self, t: VThread, c: CondVar) -> None:
+    def _do_broadcast(self, t: VThread, op) -> None:
+        c: CondVar = op.cond
         c.broadcasts += 1
         while c.waiters:
             w, m = c.waiters.popleft()
             self._transfer_cond_waiter(t, w, m)
 
-    def _do_barrier_wait(self, t: VThread, b: Barrier) -> None:
+    def _do_barrier_wait(self, t: VThread, op) -> None:
+        b: Barrier = op.barrier
         b.arrived.append(t)
         if len(b.arrived) == b.n:
             b.cycles += 1
@@ -603,65 +991,70 @@ class Engine:
         else:
             self._block(t, f"barrier:{b.name}")
 
-    def _do_sem_wait(self, t: VThread, s: Semaphore) -> None:
+    def _do_sem_wait(self, t: VThread, op) -> None:
+        s: Semaphore = op.sem
         if s.value > 0:
             s.value -= 1
         else:
             s.waiters.append(t)
             self._block(t, f"sem:{s.name}")
 
-    def _do_sem_post(self, t: VThread, s: Semaphore) -> None:
+    def _do_sem_post(self, t: VThread, op) -> None:
+        s: Semaphore = op.sem
         if s.waiters:
             w = s.waiters.popleft()
             self._wake(w, waker=t)
         else:
             s.value += 1
 
-    def _do_join(self, t: VThread, target: VThread) -> None:
+    def _do_join(self, t: VThread, op) -> None:
+        target: VThread = op.thread
         if target.finished:
             t.send_value = target.exit_value
         else:
             target.joiners.append(t)
             self._block(t, f"join:{target.name}")
 
-    def _do_sleep(self, t: VThread, duration: int, kind: str) -> None:
+    def _do_sleep(self, t: VThread, op) -> None:
+        self._suspend_timed(t, op.duration, "sleep")
+
+    def _do_io(self, t: VThread, op) -> None:
+        self._suspend_timed(t, op.duration, "io")
+
+    def _suspend_timed(self, t: VThread, duration: int, kind: str) -> None:
         self._go_offcpu(t, SLEEPING, kind)
         t.chunk_token += 1
-        token = t.chunk_token
+        self._push_event(self.now + duration, _EV_SLEEP, t, t.chunk_token)
 
-        def wake() -> None:
-            if t.chunk_token != token or t.state is not SLEEPING:
-                return
-            self._sleeping -= 1
-            t.state = BLOCKED  # transit state so _wake() is legal
-            t.woken_by = None
-            self._wake(t, waker=None)
-
-        self._push(self.now + duration, wake)
-
-    def _do_spawn(self, t: VThread, op: O.Spawn) -> None:
+    def _do_spawn(self, t: VThread, op) -> None:
         child = self.spawn(op.body, name=op.name, parent=t)
         t.send_value = child
 
-    def _do_progress(self, t: VThread, name: str) -> None:
+    def _do_progress(self, t: VThread, op) -> None:
+        name = op.name
         self.progress_counts[name] += 1
         if self.hook is not None:
             self.hook.on_progress(t, name)
         for obs in self.observers:
             obs.on_progress(t, name)
 
-    def _do_push_frame(self, t: VThread, op: O.PushFrame) -> None:
+    def _do_push_frame(self, t: VThread, op) -> None:
         caller = t.current_func()
         t.stack.append(Frame(op.func, op.callsite))
+        t.chain_cache = None
         for obs in self.observers:
             obs.on_call(t, op.func, caller)
         if self._call_overhead_ns:
             t.pending_cpu_ns += self._call_overhead_ns
 
-    def _do_pop_frame(self, t: VThread) -> None:
+    def _do_pop_frame(self, t: VThread, op) -> None:
         if not t.stack:
             raise SimulationError(f"{t.name}: PopFrame with empty stack")
         t.stack.pop()
+        t.chain_cache = None
+
+    def _do_set_spinning(self, t: VThread, op) -> None:
+        self._set_spinning(t, op.spinning)
 
     # ------------------------------------------------------------------ exit
 
@@ -671,11 +1064,11 @@ class Engine:
             pre = self.hook.before_wake_op(t)
             if pre > 0:
                 t.pending_pause_ns += pre
-                t.continuation = lambda: self._finish_exit(t)
+                t.continuation = (self._finish_exit, None)
                 return
         self._finish_exit(t)
 
-    def _finish_exit(self, t: VThread) -> None:
+    def _finish_exit(self, t: VThread, _op=None) -> None:
         if t.spinning:
             self._set_spinning(t, False)
         if t.sample_buffer:

@@ -35,6 +35,8 @@ class RunResult:
     thread_count: int
     #: total IP samples taken
     sample_count: int
+    #: simulator events the engine processed (perf trajectory metric)
+    events_processed: int = 0
     #: the engine, for tests and profilers that need post-run state
     engine: Engine = field(repr=False, default=None)
 
@@ -83,5 +85,6 @@ class Program:
             progress_counts=dict(engine.progress_counts),
             thread_count=len(engine.threads),
             sample_count=engine.sampler.total_samples,
+            events_processed=engine.events_processed,
             engine=engine,
         )

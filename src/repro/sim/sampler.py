@@ -13,8 +13,8 @@ threads take no samples, exactly like the real system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Tuple
+import math
+from typing import TYPE_CHECKING, List, NamedTuple, Optional, Tuple
 
 from repro.sim.source import SourceLine
 
@@ -22,9 +22,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.thread import VThread
 
 
-@dataclass(slots=True, frozen=True)
-class Sample:
-    """One instruction-pointer sample."""
+class Sample(NamedTuple):
+    """One instruction-pointer sample.
+
+    A NamedTuple rather than a dataclass: samples are allocated on the
+    engine hot path (hundreds of thousands per profile session) and tuple
+    construction is several times cheaper than frozen-dataclass ``__init__``.
+    """
 
     time: int                      # virtual time when the batch point passed
     tid: int                       # sampled thread
@@ -71,18 +75,36 @@ class Sampler:
         """
         accum_before = thread.sample_accum
         thread.sample_accum += nominal_ns
-        n = thread.sample_accum // self.period_ns
+        period = self.period_ns
+        n = thread.sample_accum // period
         if n:
-            thread.sample_accum -= n * self.period_ns
+            thread.sample_accum -= n * period
             chain = thread.callchain()
             line0 = chain[0]
             func = thread.current_func()
             buf = thread.sample_buffer
-            start_real = now - int(nominal_ns * rate)
-            for k in range(1, n + 1):
-                cpu_offset = k * self.period_ns - accum_before
-                when = start_real + int(cpu_offset * rate)
-                buf.append(Sample(when, thread.tid, line0, chain, func))
+            tid = thread.tid
+            # tuple.__new__ bypasses NamedTuple's generated __new__; sample
+            # construction is the single hottest allocation in a session
+            new = tuple.__new__
+            if rate == 1.0:
+                # fast path: real time == nominal time, no rounding at all
+                start_real = now - nominal_ns
+                append = buf.append
+                base = start_real - accum_before
+                for k in range(1, n + 1):
+                    append(new(Sample, (base + k * period, tid, line0, chain, func)))
+            else:
+                # The chunk-completion event was scheduled ceil(nominal*rate)
+                # after the chunk started, so the span start must use the
+                # same ceil rounding: with a floor here, start_real lands up
+                # to 1 ns late and sample times can drift past the chunk
+                # edge (`when > now` for the last sample).
+                start_real = now - math.ceil(nominal_ns * rate)
+                for k in range(1, n + 1):
+                    cpu_offset = k * period - accum_before
+                    when = start_real + int(cpu_offset * rate)
+                    buf.append(new(Sample, (when, tid, line0, chain, func)))
             self.total_samples += n
         if allow_flush and len(thread.sample_buffer) >= self.batch_size:
             batch = thread.sample_buffer

@@ -21,6 +21,19 @@ class SourceLine:
     file: str
     lineno: int
 
+    def __post_init__(self) -> None:
+        # lines are interned in counters, scope caches, and callchain tuples
+        # on the sampling hot path; precompute the hash once
+        object.__setattr__(self, "_hash", hash((self.file, self.lineno)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __reduce__(self):
+        # rebuild via __init__ so the cached hash is recomputed in the
+        # receiving process (str hashes are per-process randomized)
+        return (SourceLine, (self.file, self.lineno))
+
     def __str__(self) -> str:
         return f"{self.file}:{self.lineno}"
 
@@ -60,6 +73,11 @@ class Scope:
 
     files: Optional[frozenset] = None
     exclude: frozenset = field(default_factory=frozenset)
+    #: memoized first_in_scope results keyed by callchain tuple; scopes are
+    #: configured once and then queried per sample, so the cache is write-once
+    _chain_cache: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @classmethod
     def all_main(cls) -> "Scope":
@@ -92,7 +110,24 @@ class Scope:
         This is Coz §3.4.2: a sample landing in out-of-scope code (e.g. libc)
         is attributed to the last in-scope callsite responsible for it.
         Returns ``None`` when the entire chain is out of scope.
+
+        Sample callchains are memoized tuples (see ``VThread.callchain``),
+        so results are cached per distinct chain; non-tuple iterables are
+        resolved directly.
         """
+        if type(callchain) is tuple:
+            cache = self._chain_cache
+            try:
+                return cache[callchain]
+            except KeyError:
+                pass
+            result = None
+            for src in callchain:
+                if self.contains(src):
+                    result = src
+                    break
+            cache[callchain] = result
+            return result
         for src in callchain:
             if self.contains(src):
                 return src

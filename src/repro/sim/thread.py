@@ -41,6 +41,24 @@ class Frame:
 class VThread:
     """A simulated thread of execution."""
 
+    # thread attributes are read and written on the engine's innermost loop;
+    # __slots__ makes those accesses index-based and keeps instances compact
+    __slots__ = (
+        "tid", "name", "parent", "state", "gen",
+        "send_value", "current_op", "activity_remaining", "activity_line",
+        "activity_memory_bound", "chunk_start", "chunk_nominal", "chunk_rate",
+        "chunk_token", "chain_key", "continuation", "woken_by", "spinning",
+        "blocked_on",
+        "cpu_ns", "profiler_cpu_ns", "pause_ns", "sample_accum",
+        "sample_buffer", "pending_pause_ns", "pending_cpu_ns",
+        "stack", "chain_cache", "prof", "joiners", "exit_value",
+    )
+
+    #: fallback tid source for threads constructed outside an engine (tests);
+    #: the engine always passes an explicit per-engine ``tid`` so that thread
+    #: ids — and everything downstream of them, like the iteration order of
+    #: the running set — do not depend on how many runs this process already
+    #: executed
     _COUNTER = 0
 
     def __init__(
@@ -48,9 +66,12 @@ class VThread:
         body,
         name: Optional[str] = None,
         parent: Optional["VThread"] = None,
+        tid: Optional[int] = None,
     ) -> None:
-        self.tid = VThread._COUNTER
-        VThread._COUNTER += 1
+        if tid is None:
+            tid = VThread._COUNTER
+            VThread._COUNTER += 1
+        self.tid = tid
         self.name = name or f"thread-{self.tid}"
         self.parent = parent
         self.state = ThreadState.READY
@@ -73,6 +94,10 @@ class VThread:
         self.chunk_rate: float = 1.0
         #: token to invalidate stale completion events after a rescale
         self.chunk_token: int = 0
+        #: heap tie-break key of the thread's current chunk *chain* (run of
+        #: back-to-back chunks since the last dispatch from the ready queue);
+        #: 0 = no chain established.  See Engine._push_event.
+        self.chain_key: int = 0
         #: what to do when the current activity's time elapses
         self.continuation: Any = None
         #: thread that woke us from the last blocking op (None = timer/IO)
@@ -100,6 +125,9 @@ class VThread:
 
         # --- attribution -------------------------------------------------------
         self.stack: List[Frame] = []
+        #: memoized callchain() tuple; invalidated by the engine whenever the
+        #: activity line or the frame stack changes
+        self.chain_cache: Optional[Tuple[SourceLine, ...]] = None
 
         # --- profiler scratch space -------------------------------------------
         #: owned by the installed ProfilerHook (e.g. Coz's local delay count)
@@ -116,13 +144,21 @@ class VThread:
 
         The innermost entry is the line of the activity in flight; outer
         entries are the callsites recorded by :class:`~repro.sim.ops.
-        PushFrame` markers.
+        PushFrame` markers.  The tuple is memoized (``chain_cache``); the
+        engine clears the cache on PushFrame/PopFrame and whenever the
+        activity line changes, so repeated sampling of one activity reuses
+        the same tuple object.
         """
+        cached = self.chain_cache
+        if cached is not None:
+            return cached
         chain = [self.activity_line]
         for frame in reversed(self.stack):
             if frame.callsite is not None:
                 chain.append(frame.callsite)
-        return tuple(chain)
+        result = tuple(chain)
+        self.chain_cache = result
+        return result
 
     def current_func(self) -> str:
         """Name of the innermost function frame ('' at top level)."""

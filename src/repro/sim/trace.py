@@ -16,6 +16,7 @@ Example::
 
 from __future__ import annotations
 
+import hashlib
 import io
 from collections import Counter
 from dataclasses import dataclass
@@ -134,3 +135,77 @@ class TraceObserver(Observer):
     def write_csv(self, path: str) -> None:
         with open(path, "w") as f:
             f.write(self.to_csv())
+
+
+class TraceHasher(Observer):
+    """Streaming digest of everything observable about a run's timeline.
+
+    The digest covers the *semantic* event stream — thread lifecycle with
+    final accounting, progress-point visits, every IP sample with its
+    interpolated timestamp and callchain, per-line CPU totals, and the
+    run-level aggregates — but deliberately **not** the granularity of
+    ``on_work`` callbacks, which is an engine implementation detail: the
+    chunk-coalescing fast path books one large span of CPU where the legacy
+    quantum path books many small ones, while every number hashed here is
+    identical between the two.  Two runs with equal digests took the same
+    samples at the same instants, inserted the same delays, and finished at
+    the same virtual time; this is the referee used by the golden-trace
+    equivalence matrix.
+    """
+
+    def __init__(self, record_samples: bool = True) -> None:
+        self.wants_samples = record_samples
+        self._h = hashlib.sha256()
+        self.line_cpu: Counter = Counter()
+        self.func_calls: Counter = Counter()
+        self._engine = None
+        self._final: Optional[str] = None
+
+    def _feed(self, *parts) -> None:
+        self._h.update(("|".join(str(p) for p in parts) + "\n").encode())
+
+    def on_run_start(self, engine) -> None:
+        self._engine = engine
+
+    def on_thread_created(self, thread: VThread, parent: Optional[VThread]) -> None:
+        now = self._engine.now if self._engine is not None else 0
+        ptid = parent.tid if parent is not None else -1
+        self._feed("spawn", now, thread.tid, thread.name, ptid)
+
+    def on_thread_exit(self, thread: VThread) -> None:
+        self._feed(
+            "exit", self._engine.now, thread.tid,
+            thread.cpu_ns, thread.pause_ns, thread.profiler_cpu_ns,
+        )
+
+    def on_progress(self, thread: VThread, name: str) -> None:
+        self._feed("prog", self._engine.now, thread.tid, name)
+
+    def on_sample(self, sample: Sample) -> None:
+        self._feed(
+            "samp", sample.time, sample.tid, sample.line, sample.func,
+            ";".join(str(s) for s in sample.callchain),
+        )
+
+    def on_work(self, thread: VThread, line: SourceLine, func: str, nominal_ns: int) -> None:
+        self.line_cpu[line] += nominal_ns
+
+    def on_call(self, thread: VThread, func: str, caller: str) -> None:
+        self.func_calls[func] += 1
+
+    def on_run_end(self, engine) -> None:
+        for line, ns in sorted(self.line_cpu.items()):
+            self._feed("cpu", line, ns)
+        for func, n in sorted(self.func_calls.items()):
+            self._feed("call", func, n)
+        self._feed(
+            "end", engine.now, engine.total_cpu_ns, engine.total_delay_ns,
+            engine.sampler.total_samples,
+        )
+        self._final = self._h.hexdigest()
+
+    def hexdigest(self) -> str:
+        """The run digest (only valid after the run has ended)."""
+        if self._final is None:
+            raise RuntimeError("TraceHasher.hexdigest() called before run end")
+        return self._final

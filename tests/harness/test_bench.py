@@ -1,0 +1,64 @@
+"""``repro bench`` harness: schema, sim-metric determinism, history.
+
+Wall-clock numbers are machine-dependent, so no test here asserts on
+timing; the simulator-side metrics (virtual ns, events, samples) are
+bit-deterministic and double as an engine-identity check across the
+bench's session/program/legacy execution paths.
+"""
+
+import json
+
+from repro.cli import main as cli_main
+from repro.harness.bench import SCHEMA, VARIANTS, BenchCell, run_cell
+
+
+def _metrics(result):
+    return (result.virtual_ns, result.events, result.samples)
+
+
+def test_cell_sim_metrics_deterministic():
+    cell = BenchCell(app="example", variant="program", runs=1, repeats=1)
+    assert _metrics(run_cell(cell)) == _metrics(run_cell(cell))
+
+
+def test_session_and_program_paths_agree():
+    """The public session path and the bench's program loop simulate the
+    exact same work (same seeds, same profiler construction)."""
+    session = run_cell(BenchCell("example", "session", runs=2, repeats=1))
+    program = run_cell(BenchCell("example", "program", runs=2, repeats=1))
+    assert _metrics(session) == _metrics(program)
+
+
+def test_legacy_variant_same_results_more_events():
+    base = run_cell(BenchCell("example", "program", runs=1, repeats=1))
+    legacy = run_cell(BenchCell("example", "legacy", runs=1, repeats=1))
+    assert legacy.virtual_ns == base.virtual_ns
+    assert legacy.samples == base.samples
+    # the whole point of coalescing: fewer heap events for the same result
+    assert legacy.events > base.events
+
+
+def test_bench_cli_schema_and_history(tmp_path, capsys):
+    out = tmp_path / "BENCH_engine.json"
+    # pre-seed a recorded history entry; a re-run must never erase it
+    out.write_text(json.dumps({"schema": SCHEMA, "history": [{"label": "seed"}]}))
+    rc = cli_main(
+        ["bench", "--quick", "--app", "example",
+         "--output", str(out), "--label", "current"]
+    )
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == SCHEMA
+    assert doc["quick"] is True
+    assert {c["name"] for c in doc["cells"]} == {
+        f"example/{variant}" for variant in VARIANTS
+    }
+    for cell in doc["cells"]:
+        for key in (
+            "wall_s", "wall_s_all", "wall_s_per_run", "virtual_ns",
+            "events", "samples", "events_per_sec", "virtual_ns_per_wall_s",
+        ):
+            assert key in cell, f"{cell['name']} missing {key}"
+    assert "speedup_vs_legacy" in doc["summary"]
+    assert [h["label"] for h in doc["history"]] == ["seed", "current"]
+    assert "bench results written" in capsys.readouterr().out

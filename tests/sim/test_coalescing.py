@@ -1,0 +1,132 @@
+"""Chunk coalescing: event reduction, fairness truncation, determinism.
+
+Regression coverage for the engine hot-path overhaul: the coalesced inner
+loop must process far fewer events on undersubscribed machines while
+producing results bit-identical to the legacy per-quantum path
+(``SimConfig.coalesce=False``), including when fairness forces an in-flight
+mega-chunk to be truncated back to the quantum grid.  Also pins the
+per-engine tid allocation: two engines in one process must produce
+identical traces even under interference rescaling, which iterates the
+running set.
+"""
+
+from dataclasses import replace
+
+from repro.apps.streamcluster import build_streamcluster
+from repro.sim import MS, Join, Program, SimConfig, Sleep, Spawn, Work, line
+from repro.sim.hooks import HookAction, ProfilerHook
+from repro.sim.trace import TraceHasher
+
+LA = line("a.c:1")
+LB = line("a.c:2")
+
+
+class _SamplingHook(ProfilerHook):
+    """Turns sampling on and counts delivered samples (timing-sensitive:
+    any change to chunk boundaries that perturbed sample interpolation or
+    batch delivery would change the trace digest)."""
+
+    wants_samples = True
+
+    def __init__(self):
+        self.samples = []
+
+    def on_run_start(self, engine):
+        engine.enable_sampling()
+
+    def on_samples(self, thread, samples):
+        self.samples.extend(samples)
+        return HookAction()
+
+
+def _run(main, config, sampling=False):
+    hook = _SamplingHook() if sampling else None
+    hasher = TraceHasher()
+    result = Program(main, config=config).run(hook=hook, observers=[hasher])
+    return result, hasher.hexdigest()
+
+
+def test_coalescing_reduces_events():
+    """A single-thread run collapses per-quantum events: down to one chunk
+    unsampled, down to one chunk per sample-batch flush when sampling."""
+
+    def main(t):
+        yield Work(LA, MS(200))
+
+    legacy = Program(main, config=SimConfig(coalesce=False)).run()
+    coalesced = Program(main, config=SimConfig(coalesce=True)).run()
+    assert coalesced.runtime_ns == legacy.runtime_ns
+    # legacy books ~100 quantum chunks (2 ms each); coalesced books one
+    assert legacy.events_processed >= 100
+    assert coalesced.events_processed <= 3
+
+    # with sampling live (TraceHasher turns it on), coalesced chunks are
+    # bounded by the analytic batch-flush boundary: one event per 10 ms
+    # batch instead of one per 2 ms quantum
+    legacy_s, _ = _run(main, SimConfig(coalesce=False))
+    coal_s, _ = _run(main, SimConfig(coalesce=True))
+    assert legacy_s.sample_count == coal_s.sample_count == 200
+    assert coal_s.events_processed < legacy_s.events_processed / 4
+
+
+def test_coalescing_bit_identical_with_sampling():
+    """Sample times interpolate identically across chunking modes."""
+
+    def main(t):
+        def helper(t2):
+            yield Sleep(MS(3))
+            yield Work(LB, MS(9))
+
+        child = yield Spawn(helper)
+        yield Work(LA, MS(17))
+        yield Join(child)
+
+    legacy_r, legacy_d = _run(main, SimConfig(coalesce=False), sampling=True)
+    coal_r, coal_d = _run(main, SimConfig(coalesce=True), sampling=True)
+    assert coal_d == legacy_d
+    assert coal_r.runtime_ns == legacy_r.runtime_ns
+    assert coal_r.sample_count == legacy_r.sample_count > 0
+    assert coal_r.events_processed < legacy_r.events_processed
+
+
+def test_fairness_truncation_on_saturated_core():
+    """A mega-chunk is truncated when a thread becomes ready on a
+    saturated machine: one core, a long-running main, and a sleeper that
+    wakes mid-chunk.  Round-robin interleaving (and therefore every sample
+    timestamp) must match the legacy engine exactly."""
+
+    def main(t):
+        def sleeper(t2):
+            yield Sleep(MS(5))
+            yield Work(LB, MS(12))
+
+        child = yield Spawn(sleeper)
+        yield Work(LA, MS(30))
+        yield Join(child)
+
+    config = SimConfig(cores=1)
+    legacy_r, legacy_d = _run(main, replace(config, coalesce=False), sampling=True)
+    coal_r, coal_d = _run(main, replace(config, coalesce=True), sampling=True)
+    assert coal_d == legacy_d
+    assert coal_r.runtime_ns == legacy_r.runtime_ns
+    assert coal_r.sample_count == legacy_r.sample_count > 0
+
+
+def test_two_engines_one_process_under_interference():
+    """Per-engine tids: a second engine in the same process must replay the
+    first one's trace exactly (interference rescaling iterates the running
+    set, whose order is tid-driven — the old process-global tid counter
+    made it depend on how many runs the process had already executed)."""
+    spec = build_streamcluster(n_threads=4, n_phases=30)
+
+    def run_once():
+        hasher = TraceHasher()
+        result = spec.build(7).run(observers=[hasher])
+        tids = [t.tid for t in result.engine.threads]
+        return hasher.hexdigest(), result.runtime_ns, tids
+
+    first = run_once()
+    second = run_once()
+    assert first == second
+    # tids are engine-local and dense from zero
+    assert first[2] == list(range(len(first[2])))

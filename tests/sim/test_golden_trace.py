@@ -1,0 +1,169 @@
+"""Golden-trace equivalence matrix (engine bit-identity referee).
+
+The ``GOLDEN`` hashes below were recorded on the pre-optimization engine
+(quantum-chunked inner loop, PR 2 state plus the tid/sampler-rounding bug
+fixes that land in the same PR as the coalescing overhaul).  Every cell runs
+an app x config combination — serial/parallel sessions, sampling on/off,
+sample-phase jitter on/off, nanosleep jitter on/off, interference on/off —
+and fingerprints everything observable about the execution:
+
+* the merged :class:`~repro.core.profile_data.ProfileData` wire bytes
+  (``to_json``) for profile-session cells, and
+* a :class:`~repro.sim.trace.TraceHasher` digest (thread lifecycle, every
+  sample with its interpolated timestamp and callchain, progress visits,
+  per-line CPU totals, run aggregates) plus the profiler's wire bytes for
+  program-level cells.
+
+The optimized engine must reproduce every hash **in both chunking modes**
+(``coalesce=True`` and the legacy quantum path), proving the hot-path
+overhaul is bit-identical to the engine it replaced.
+
+Re-record (only after an *intentional* semantic change) with::
+
+    PYTHONPATH=src python tests/sim/test_golden_trace.py --capture
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import replace
+
+import pytest
+
+from repro.apps import registry
+from repro.apps.example import build_example
+from repro.apps.streamcluster import build_streamcluster
+from repro.core.config import CozConfig
+from repro.core.profiler import CausalProfiler
+from repro.harness.runner import ProfileRequest, run_profile_session
+from repro.sim.clock import MS
+from repro.sim.trace import TraceHasher
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _apply_mode(config, coalesce):
+    """Force a chunking mode on a SimConfig, if the engine supports it."""
+    if coalesce is None or not hasattr(config, "coalesce"):
+        return config
+    return replace(config, coalesce=coalesce)
+
+
+def _session_cell(spec_args, runs=2, jobs=1):
+    def run(coalesce=None):
+        spec = registry.build(*spec_args[:1], **spec_args[1])
+        if coalesce is not None:
+            # session cells run through app-built SimConfigs; skip forcing
+            # legacy mode here (program-level cells cover both modes)
+            pass
+        out = run_profile_session(spec, ProfileRequest(runs=runs, jobs=jobs))
+        return _sha(out.data.to_json())
+
+    return run
+
+
+def _program_cell(build_spec, seed, coz_kwargs=None, sim_override=None,
+                  record_samples=True):
+    def run(coalesce=None):
+        spec = build_spec()
+        program = spec.build(seed)
+        config = program.config
+        if sim_override:
+            config = replace(config, **sim_override)
+        config = _apply_mode(config, coalesce)
+        cfg = CozConfig(
+            scope=spec.scope, experiment_duration_ns=MS(10), seed=seed,
+            **(coz_kwargs or {}),
+        )
+        prof = CausalProfiler(cfg, spec.progress_points)
+        hasher = TraceHasher(record_samples=record_samples)
+        result = program.run(hook=prof, observers=[hasher], config=config)
+        return _sha(
+            prof.data.to_json()
+            + f"|{hasher.hexdigest()}|{result.runtime_ns}|{result.cpu_ns}"
+            + f"|{result.delay_ns}|{result.sample_count}"
+        )
+
+    return run
+
+
+CELLS = {
+    "example_session": _session_cell(("example", {"rounds": 40})),
+    "sqlite_session": _session_cell(
+        ("sqlite", {"threads": 4, "inserts_per_thread": 150})
+    ),
+    "ferret_session": _session_cell(("ferret", {"n_queries": 80})),
+    "example_jitter": _program_cell(
+        lambda: build_example(rounds=40), seed=5
+    ),
+    "example_nojitter": _program_cell(
+        lambda: build_example(rounds=40), seed=5,
+        sim_override={"sample_phase_jitter": False},
+    ),
+    "example_cozjitter": _program_cell(
+        lambda: build_example(rounds=40), seed=5,
+        coz_kwargs={"nanosleep_jitter_ns": 400},
+    ),
+    "example_nosampling": _program_cell(
+        lambda: build_example(rounds=40), seed=5,
+        coz_kwargs={"enable_sampling": False}, record_samples=False,
+    ),
+    "streamcluster_interference": _program_cell(
+        lambda: build_streamcluster(n_threads=4, n_phases=40), seed=7
+    ),
+    "streamcluster_nointerference": _program_cell(
+        lambda: build_streamcluster(
+            n_threads=4, n_phases=40, interference_coeff=0.0
+        ),
+        seed=7,
+    ),
+}
+
+# Recorded on the pre-optimization (quantum-chunked) engine; see module doc.
+GOLDEN = {
+    "example_cozjitter": "c223d509340774b37e359a114e95f33c96886bb9709a5d8e2ac6a4fb9c09f53b",
+    "example_jitter": "541d40fb2a30534ea31b83b37987a7722cc0849f0aac4b042c9b65ecf9759c76",
+    "example_nojitter": "297dc3ef1a20f6829a3bf10e1383854fed0b8dd57c7fe21d85c5f1515e8e8bae",
+    "example_nosampling": "7a683d967cea0e2e59bd6a2008fd983c4438addd00a1ccb75c25009ed4f000e4",
+    "example_session": "3f39753b297b3229d82c7b697286343732e65cc06102787c6a7e5dadf5918e49",
+    "ferret_session": "d04f26055dc6ce244c4bebc1f5d58c7b1e787c8ab1452fd0e4bd5a541dfe293e",
+    "sqlite_session": "784b069ef7e8e7dadeab183bcccdb69619418a53e4eaac53580e17373dc4f59c",
+    "streamcluster_interference": "ed7af2aa1c224d6a28d2218dd833337f1019def03a90fc6c923b764a817d88e5",
+    "streamcluster_nointerference": "309abe155fde07fa0de6070d19446bd10ccf0365f2a38518e8a959ad76ccae51",
+}
+
+
+@pytest.mark.parametrize("cell", sorted(CELLS))
+def test_golden_trace_coalesced(cell):
+    """The optimized (coalescing) engine reproduces the recorded hashes."""
+    assert CELLS[cell]() == GOLDEN[cell], (
+        f"{cell}: optimized engine diverged from the pre-optimization trace"
+    )
+
+
+_PROGRAM_CELLS = [c for c in sorted(CELLS) if not c.endswith("_session")]
+
+
+@pytest.mark.parametrize("cell", _PROGRAM_CELLS)
+def test_golden_trace_legacy_mode(cell):
+    """The retained legacy quantum path also reproduces the hashes."""
+    assert CELLS[cell](coalesce=False) == GOLDEN[cell], (
+        f"{cell}: legacy quantum path diverged from the recorded trace"
+    )
+
+
+def test_parallel_session_matches_serial():
+    """Worker-process fan-out produces the same ProfileData wire bytes."""
+    serial = CELLS["example_session"]()
+    parallel = _session_cell(("example", {"rounds": 40}), jobs=2)()
+    assert serial == parallel == GOLDEN["example_session"]
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--capture" in sys.argv:
+        for name in sorted(CELLS):
+            print(f'    "{name}": "{CELLS[name]()}",')

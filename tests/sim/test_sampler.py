@@ -112,6 +112,33 @@ def test_no_samples_without_enable():
     assert hook.batches == 0
 
 
+def test_rate_scaled_interpolation_matches_ceil_schedule():
+    """Sample interpolation under interference rescaling must use the same
+    ``ceil`` rounding as the scheduled chunk duration.  Regression: the old
+    ``start_real = now - int(nominal * rate)`` placed the chunk start 1 ns
+    late whenever ``nominal * rate`` was fractional, shifting every
+    interpolated sample time off the chunk's real time base."""
+    import math
+
+    from repro.sim.thread import VThread
+
+    def body(t):
+        yield
+
+    sampler = Sampler(period_ns=1000, batch_size=10)
+    t = VThread(body, tid=0)
+    rate = 1.0009
+    # 1000 nominal ns at rate 1.0009 is scheduled to finish ceil(1000.9) =
+    # 1001 real ns after the chunk starts; completing at now=5000 puts the
+    # start at 3999, and the single sample (at nominal offset 1000) lands
+    # at 3999 + int(1000 * rate) = 4999 — strictly inside the chunk.
+    sampler.account(t, 1000, now=5000, rate=rate)
+    [sample] = t.sample_buffer
+    assert sample.time == (5000 - math.ceil(1000 * rate)) + int(1000 * rate)
+    assert sample.time == 4999
+    assert sample.time < 5000
+
+
 def test_batching_delivers_in_groups():
     class BatchHook(RecordingHook):
         def __init__(self):
