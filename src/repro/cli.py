@@ -20,6 +20,15 @@ default, auto-sizes to ``min(runs, cpu count)``; ``1`` forces serial).
 Parallel and serial sessions produce identical results.  The same three
 subcommands accept ``--audit`` to run under the invariant audit; a failed
 audit prints its report and exits nonzero.
+
+Resilience flags (``profile`` and ``compare``): ``--journal PATH`` writes
+a crash-safe session journal (one fsync'd record per completed run) and
+``--resume PATH`` continues an interrupted session from one, merging
+bit-identically to an uninterrupted run.  ``--chaos [INTENSITY]`` injects
+the deterministic fault matrix (:mod:`repro.sim.faults`) — thread
+crashes, stuck lock-holders, sample loss/duplication, jitter spikes,
+worker kills/hangs — seeded by ``--chaos-seed``; sessions that lose runs
+complete *degraded*, printing one failure record per lost run.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from repro.apps.spec import AppSpec
 from repro.core.config import CozConfig
 from repro.core.report import (
     render_audit,
+    render_failures,
     render_line_graph,
     render_profile,
     to_coz_format,
@@ -69,6 +79,15 @@ def _finish_audit(report) -> int:
     return 1
 
 
+def _fault_plan(args: argparse.Namespace):
+    """The ``--chaos`` preset, or None when chaos is off."""
+    if args.chaos is None:
+        return None
+    from repro.sim.faults import FaultPlan
+
+    return FaultPlan.chaos(seed=args.chaos_seed, intensity=args.chaos)
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     spec = _build(args.app, optimized=args.optimized)
     cfg = CozConfig(
@@ -77,10 +96,13 @@ def cmd_profile(args: argparse.Namespace) -> int:
         speedup_values=tuple(range(0, 101, args.speedup_step)),
     )
     request = ProfileRequest(
-        runs=args.runs, coz_config=cfg, jobs=args.jobs, audit=args.audit
+        runs=args.runs, coz_config=cfg, jobs=args.jobs, audit=args.audit,
+        faults=_fault_plan(args), journal=args.journal, resume=args.resume,
     )
     outcome = run_profile_session(spec, request)
     print(f"{outcome.experiment_count} experiments over {args.runs} runs")
+    if outcome.degraded:
+        print(render_failures(outcome.data))
     print(render_profile(outcome.profile, top=args.top))
     if args.graphs:
         for lp in outcome.profile.ranked()[: args.graphs]:
@@ -100,11 +122,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
         audit_report = AuditReport()
     base = _build(args.app, optimized=False)
     opt = _build(args.app, optimized=True)
-    cmp_result = compare_builds(
-        args.app, base.build, opt.build, runs=args.runs, jobs=args.jobs,
-        baseline_ref=base.registry_ref, optimized_ref=opt.registry_ref,
-        audit_report=audit_report,
-    )
+    try:
+        cmp_result = compare_builds(
+            args.app, base.build, opt.build, runs=args.runs, jobs=args.jobs,
+            baseline_ref=base.registry_ref, optimized_ref=opt.registry_ref,
+            audit_report=audit_report, faults=_fault_plan(args),
+            journal=args.journal, resume=args.resume,
+        )
+    except ValueError as exc:  # e.g. a fully-degraded chaos session
+        raise SystemExit(str(exc))
     print(cmp_result.row())
     return _finish_audit(audit_report)
 
@@ -190,6 +216,30 @@ def _add_audit_flag(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--chaos", type=float, nargs="?", const=0.25, default=None,
+        metavar="INTENSITY",
+        help="inject the deterministic fault matrix at this per-run "
+             "probability (bare flag = 0.25); lost runs are reported, "
+             "not fatal",
+    )
+    p.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="SEED",
+        help="seed for the fault-injection RNG stream (default 0)",
+    )
+    p.add_argument(
+        "--journal", metavar="PATH",
+        help="write a crash-safe session journal (one fsync'd JSONL "
+             "record per completed run)",
+    )
+    p.add_argument(
+        "--resume", metavar="PATH",
+        help="resume an interrupted session from its journal; replays "
+             "completed runs and executes only the rest",
+    )
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="coz-sim",
@@ -210,6 +260,7 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("--coz-output", help="write raw experiments in Coz's file format")
     _add_jobs_flag(p)
     _add_audit_flag(p)
+    _add_resilience_flags(p)
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("compare", help="before/after optimization (Table 3 row)")
@@ -217,6 +268,7 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("--runs", type=int, default=10)
     _add_jobs_flag(p)
     _add_audit_flag(p)
+    _add_resilience_flags(p)
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("overhead", help="overhead breakdown (Figure 9 bar)")

@@ -23,6 +23,7 @@ from repro.core.profile_data import (
     LineProfile,
     ProfileData,
     ProfilePoint,
+    RunFailure,
     RunInfo,
     build_causal_profile,
     build_latency_profile,
@@ -46,6 +47,7 @@ __all__ = [
     "LineProfile",
     "ProfileData",
     "ProfilePoint",
+    "RunFailure",
     "RunInfo",
     "build_causal_profile",
     "build_latency_profile",

@@ -300,6 +300,24 @@ def audit_profile_data(data: ProfileData) -> AuditReport:
     return rep
 
 
+def run_accounting_check(attempted: int, data: ProfileData) -> InvariantCheck:
+    """Every attempted run is accounted for: a RunInfo or a RunFailure.
+
+    This is the no-silent-drop invariant of the resilience layer — a run
+    may succeed or be recorded as failed, but it may never vanish.
+    """
+    accounted = len(data.runs) + len(data.failures)
+    return _check(
+        "run-accounting",
+        accounted == attempted,
+        checked=attempted,
+        detail=(
+            f"{attempted} run(s) attempted but only {len(data.runs)} "
+            f"succeeded + {len(data.failures)} recorded as failed"
+        ),
+    )
+
+
 def run_doctor(
     app_name: str,
     runs: int = 3,
@@ -356,6 +374,31 @@ def run_doctor(
         detail=(
             f"parallel session ({len(parallel.data.runs)} runs) is not "
             f"bit-identical to the serial session"
+        ),
+    ))
+
+    # checkpoint/resume: journal a session, stop it midway, resume it, and
+    # demand bit-identity with the uninterrupted serial session
+    import os
+    import tempfile
+
+    half = max(1, runs // 2)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "session.journal")
+        run_profile_session(spec, ProfileRequest(
+            runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1,
+            journal=path, stop_after_runs=half,
+        ))
+        resumed = run_profile_session(spec, ProfileRequest(
+            runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1,
+            resume=path,
+        ))
+    report.add(_check(
+        "journal-resume-identity",
+        resumed.data == serial.data,
+        detail=(
+            f"session resumed after {half} of {runs} journaled runs is not "
+            f"bit-identical to an uninterrupted session"
         ),
     ))
     return report

@@ -61,12 +61,75 @@ class RunInfo:
         return info
 
 
+@dataclass
+class RunFailure:
+    """Record of a scheduled run that produced no usable data.
+
+    Failed runs contribute nothing to the causal profile — a partially
+    executed run's experiments would skew the phase correction — but they
+    are first-class session output: reports, the audit layer, and resumed
+    sessions all see exactly which runs failed and why.
+    """
+
+    #: index of the run in the session schedule
+    index: int
+    #: the run's seed (base seed + index)
+    seed: int
+    #: concrete error class name (``ThreadCrashFault``, ``WorkerHungError``…)
+    error_type: str
+    message: str
+    #: virtual time the run reached before failing (0 when unknown)
+    virtual_ns: int = 0
+    #: executor attempts consumed before giving up
+    attempts: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "error_type": self.error_type,
+            "message": self.message,
+            "virtual_ns": self.virtual_ns,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RunFailure":
+        return cls(
+            index=d["index"],
+            seed=d["seed"],
+            error_type=d["error_type"],
+            message=d["message"],
+            virtual_ns=d.get("virtual_ns", 0),
+            attempts=d.get("attempts", 1),
+        )
+
+    @classmethod
+    def from_error(
+        cls, index: int, seed: int, err: BaseException, attempts: int = 1
+    ) -> "RunFailure":
+        return cls(
+            index=index,
+            seed=seed,
+            error_type=type(err).__name__,
+            message=str(err),
+            virtual_ns=getattr(err, "virtual_ns", 0),
+            attempts=attempts,
+        )
+
+
 class ProfileData:
-    """Raw profiler output: experiments plus per-run sampling totals."""
+    """Raw profiler output: experiments plus per-run sampling totals.
+
+    ``failures`` records scheduled runs that produced no data; a session
+    with any recorded failure is *degraded* — its profile is built from
+    fewer runs than requested and reports must say so.
+    """
 
     def __init__(self) -> None:
         self.experiments: List[ExperimentResult] = []
         self.runs: List[RunInfo] = []
+        self.failures: List[RunFailure] = []
 
     def add_experiment(self, result: ExperimentResult) -> None:
         self.experiments.append(result)
@@ -74,19 +137,36 @@ class ProfileData:
     def add_run(self, info: RunInfo) -> None:
         self.runs.append(info)
 
+    def add_failure(self, failure: RunFailure) -> None:
+        self.failures.append(failure)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the session lost at least one scheduled run."""
+        return bool(self.failures)
+
     def merge(self, other: "ProfileData") -> "ProfileData":
         """Accumulate another profiling run's data (same program!)."""
         self.experiments.extend(other.experiments)
         self.runs.extend(other.runs)
+        self.failures.extend(other.failures)
         return self
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ProfileData):
             return NotImplemented
-        return self.experiments == other.experiments and self.runs == other.runs
+        return (
+            self.experiments == other.experiments
+            and self.runs == other.runs
+            and self.failures == other.failures
+        )
 
     def __repr__(self) -> str:
-        return f"ProfileData({len(self.experiments)} experiments, {len(self.runs)} runs)"
+        tail = f", {len(self.failures)} failed" if self.failures else ""
+        return (
+            f"ProfileData({len(self.experiments)} experiments, "
+            f"{len(self.runs)} runs{tail})"
+        )
 
     # -- wire format (cross-process result transfer) -------------------------------
     #
@@ -99,14 +179,16 @@ class ProfileData:
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """Serialize to the wire format (a JSON document)."""
-        return json.dumps(
-            {
-                "version": self.WIRE_VERSION,
-                "experiments": [e.to_dict() for e in self.experiments],
-                "runs": [r.to_dict() for r in self.runs],
-            },
-            indent=indent,
-        )
+        doc: Dict[str, Any] = {
+            "version": self.WIRE_VERSION,
+            "experiments": [e.to_dict() for e in self.experiments],
+            "runs": [r.to_dict() for r in self.runs],
+        }
+        # emitted only when present: a clean session's wire form is
+        # byte-identical to pre-failure-record versions (golden traces)
+        if self.failures:
+            doc["failures"] = [f.to_dict() for f in self.failures]
+        return json.dumps(doc, indent=indent)
 
     @classmethod
     def from_json(cls, text: str) -> "ProfileData":
@@ -120,6 +202,8 @@ class ProfileData:
             data.add_experiment(ExperimentResult.from_dict(ed))
         for rd in doc["runs"]:
             data.add_run(RunInfo.from_dict(rd))
+        for fd in doc.get("failures", []):
+            data.add_failure(RunFailure.from_dict(fd))
         return data
 
     # -- whole-run totals ----------------------------------------------------------

@@ -29,6 +29,21 @@ def render_audit(report) -> str:
     return buf.getvalue()
 
 
+def render_failures(data: ProfileData) -> str:
+    """Degraded-session summary: one row per lost run."""
+    total = len(data.runs) + len(data.failures)
+    buf = io.StringIO()
+    buf.write(
+        f"DEGRADED session: {len(data.failures)} of {total} run(s) "
+        f"produced no data\n"
+    )
+    buf.write(f"{'run':>4} {'seed':>6} {'error':<22} detail\n")
+    for f in sorted(data.failures, key=lambda f: f.index):
+        message = f.message if len(f.message) <= 80 else f.message[:77] + "..."
+        buf.write(f"{f.index:>4} {f.seed:>6} {f.error_type:<22} {message}\n")
+    return buf.getvalue()
+
+
 def render_profile(profile: CausalProfile, top: Optional[int] = 10) -> str:
     """The ranked-table view of a causal profile."""
     buf = io.StringIO()

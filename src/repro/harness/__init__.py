@@ -8,12 +8,15 @@ cpu-count-aware auto sizing) to fan independent runs out over worker
 processes with results bit-identical to serial execution."""
 
 from repro.harness.comparison import compare_app, compare_builds, measure_runtimes
+from repro.harness.journal import JournalError, JournalRecord, SessionJournal
 from repro.harness.overhead import OverheadBreakdown, measure_overhead
 from repro.harness.parallel import (
     AUTO_JOBS,
     ParallelExecutionWarning,
+    RetryPolicy,
     RunOutput,
     RunTask,
+    Watchdog,
     execute_tasks,
     resolve_jobs,
 )
@@ -23,16 +26,22 @@ from repro.harness.runner import (
     profile_app,
     profile_program,
     run_profile_session,
+    session_fingerprint,
 )
 
 __all__ = [
     "AUTO_JOBS",
+    "JournalError",
+    "JournalRecord",
     "OverheadBreakdown",
     "ParallelExecutionWarning",
     "ProfileOutcome",
     "ProfileRequest",
+    "RetryPolicy",
     "RunOutput",
     "RunTask",
+    "SessionJournal",
+    "Watchdog",
     "compare_app",
     "compare_builds",
     "execute_tasks",
@@ -42,4 +51,5 @@ __all__ = [
     "profile_program",
     "resolve_jobs",
     "run_profile_session",
+    "session_fingerprint",
 ]

@@ -41,9 +41,11 @@ jobs (no timing thresholds there — crash detection only).
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
@@ -230,14 +232,26 @@ def write_bench(doc: Dict, path: str) -> None:
 
     ``history`` is the cross-PR perf trajectory: a list of hand-promoted
     summary entries (see EXPERIMENTS.md).  A fresh bench run must never
-    erase it, so the writer merges the existing file's history in.
+    erase it, so the writer merges the existing file's history in.  A
+    missing prior file is the normal first run; a corrupt or unreadable
+    one is tolerated with a warning (the bench starts a fresh history
+    rather than raising away a finished measurement).
     """
-    try:
-        with open(path) as f:
-            prev = json.load(f)
-        history = prev.get("history", [])
-    except (OSError, ValueError):
-        history = []
+    history: List = []
+    if os.path.exists(path):
+        try:
+            with open(path) as f:
+                prev = json.load(f)
+            history = prev.get("history", [])
+            if not isinstance(history, list):
+                raise ValueError(f"history is {type(history).__name__}, not a list")
+        except (OSError, ValueError) as exc:
+            history = []
+            warnings.warn(
+                f"prior bench history at {path} is unreadable "
+                f"({type(exc).__name__}: {exc}); starting a fresh history",
+                stacklevel=2,
+            )
     doc = dict(doc, history=history + list(doc.get("history", [])))
     with open(path, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=False)

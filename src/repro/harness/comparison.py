@@ -11,10 +11,19 @@ the registry-addressed form whose runs parallelize for any bundled app.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.harness.parallel import RunTask, execute_tasks
+from repro.harness.journal import SessionJournal
+from repro.harness.parallel import (
+    ParallelExecutionWarning,
+    RetryPolicy,
+    RunTask,
+    execute_tasks,
+)
+from repro.harness.runner import _output_from_record, journal_hook
+from repro.sim.faults import FaultPlan
 from repro.sim.program import Program
 from repro.stats.bootstrap import SpeedupStats, speedup_stats
 
@@ -27,6 +36,10 @@ def measure_runtimes(
     timeout: Optional[float] = None,
     app_ref=None,
     audit_report=None,
+    faults: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    journal: Optional[SessionJournal] = None,
+    segment: str = "runtimes",
 ) -> List[int]:
     """Wall-clock virtual runtimes of ``runs`` fresh executions.
 
@@ -34,7 +47,11 @@ def measure_runtimes(
     processes rebuild the program by registry name; without it, parallel
     execution needs ``program_factory`` itself to be picklable.
     ``audit_report`` (an :class:`~repro.core.audit.AuditReport`) turns on
-    the executor's parallel-serial-identity spot check.
+    the executor's parallel-serial-identity spot check.  ``journal`` (an
+    open :class:`~repro.harness.journal.SessionJournal`) checkpoints each
+    run under ``segment`` and replays runs the journal already holds.
+    Runs that fail deterministically are dropped from the returned list
+    with a warning — the measurement degrades instead of dying.
     """
     tasks = [
         RunTask(
@@ -43,14 +60,38 @@ def measure_runtimes(
             coz_config=None,
             app_ref=app_ref,
             program_factory=None if app_ref is not None else program_factory,
+            faults=faults,
         )
         for i in range(runs)
     ]
-    outputs = execute_tasks(
-        tasks, jobs=jobs, timeout=timeout,
+    outputs = {}
+    if journal is not None:
+        for idx, rec in journal.completed(segment).items():
+            if idx < runs:
+                outputs[idx] = _output_from_record(rec)
+    remaining = [t for t in tasks if t.index not in outputs]
+    for out in execute_tasks(
+        remaining, jobs=jobs, timeout=timeout,
         audit_report=audit_report if jobs != 1 else None,
-    )
-    return [out.run["runtime_ns"] for out in outputs]
+        retry=retry,
+        on_output=journal_hook(journal, segment),
+    ):
+        outputs[out.index] = out
+
+    runtimes = []
+    failed = [outputs[i].run_failure() for i in range(runs) if outputs[i].failed]
+    for i in range(runs):
+        if not outputs[i].failed:
+            runtimes.append(outputs[i].run["runtime_ns"])
+    if failed:
+        warnings.warn(
+            f"{len(failed)} of {runs} runs failed and were dropped from the "
+            f"runtime measurement (first: run {failed[0].index}, "
+            f"{failed[0].error_type}: {failed[0].message})",
+            ParallelExecutionWarning,
+            stacklevel=2,
+        )
+    return runtimes
 
 
 @dataclass
@@ -86,18 +127,56 @@ def compare_builds(
     baseline_ref=None,
     optimized_ref=None,
     audit_report=None,
+    faults: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    journal: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> Comparison:
-    """Run both configurations ``runs`` times and compute Table 3 statistics."""
-    baseline = measure_runtimes(
-        baseline_factory, runs=runs, base_seed=base_seed,
-        jobs=jobs, timeout=timeout, app_ref=baseline_ref,
-        audit_report=audit_report,
-    )
-    optimized = measure_runtimes(
-        optimized_factory, runs=runs, base_seed=base_seed + runs,
-        jobs=jobs, timeout=timeout, app_ref=optimized_ref,
-        audit_report=audit_report,
-    )
+    """Run both configurations ``runs`` times and compute Table 3 statistics.
+
+    With ``journal=`` the baseline and optimized measurements checkpoint
+    into one journal file as segments ``baseline`` / ``optimized``;
+    ``resume=`` replays a previous journal's completed runs first.
+    """
+    from repro.harness.journal import canonical
+
+    jr: Optional[SessionJournal] = None
+    if journal is not None or resume is not None:
+        fingerprint = {
+            "kind": "compare-session",
+            "name": name,
+            "runs": runs,
+            "base_seed": base_seed,
+            "baseline": canonical(baseline_ref),
+            "optimized": canonical(optimized_ref),
+            "faults": canonical(faults),
+        }
+        if resume is not None:
+            jr = SessionJournal.resume(resume, fingerprint)
+        else:
+            jr = SessionJournal.create(journal, fingerprint)
+    try:
+        baseline = measure_runtimes(
+            baseline_factory, runs=runs, base_seed=base_seed,
+            jobs=jobs, timeout=timeout, app_ref=baseline_ref,
+            audit_report=audit_report, faults=faults, retry=retry,
+            journal=jr, segment="baseline",
+        )
+        optimized = measure_runtimes(
+            optimized_factory, runs=runs, base_seed=base_seed + runs,
+            jobs=jobs, timeout=timeout, app_ref=optimized_ref,
+            audit_report=audit_report, faults=faults, retry=retry,
+            journal=jr, segment="optimized",
+        )
+    finally:
+        if jr is not None:
+            jr.close()
+    if not baseline or not optimized:
+        empty = "baseline" if not baseline else "optimized"
+        raise ValueError(
+            f"compare '{name}': every {empty} run failed; no runtimes to "
+            f"compare (the journal, if any, records each failure)"
+        )
     stats = speedup_stats(baseline, optimized, seed=base_seed)
     return Comparison(
         name=name,
@@ -114,6 +193,10 @@ def compare_app(
     jobs: int = 1,
     timeout: Optional[float] = None,
     audit_report=None,
+    faults: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    journal: Optional[str] = None,
+    resume: Optional[str] = None,
     **build_kwargs,
 ) -> Comparison:
     """Registry-addressed :func:`compare_builds`: baseline vs optimized
@@ -133,4 +216,8 @@ def compare_app(
         baseline_ref=base.registry_ref,
         optimized_ref=opt.registry_ref,
         audit_report=audit_report,
+        faults=faults,
+        retry=retry,
+        journal=journal,
+        resume=resume,
     )

@@ -15,18 +15,38 @@ result.  Three properties make that safe:
   which worker finished first, so the merged profile is bit-identical to
   the serial one.
 
-Robustness: a run that fails in a worker (raise, pool breakage after a
-``SIGKILL``, per-run timeout) is retried **once, in the parent process**,
-which both bounds retries and guarantees the session completes whenever a
-serial session would.  On the first timeout the pool's worker processes
-are terminated outright: a future stuck on a hung run cannot be
-``cancel()``-ed, and a ``shutdown(wait=False)`` would orphan the workers
-(and starve queued tasks into spurious timeouts of their own) — so the
-remaining tasks are harvested where already done and re-run in the
-parent otherwise.  If the pool itself cannot start (restricted
-environments without ``fork``/semaphores) or tasks cannot be pickled, the
-whole batch degrades to serial execution with a
-:class:`ParallelExecutionWarning` instead of crashing.
+Resilience model (typed by :mod:`repro.sim.errors`):
+
+* **Deterministic run failures** — a run that raises
+  :class:`~repro.sim.errors.SimulationError` (deadlock, injected thread
+  crash, stuck lock-holder) fails identically on every retry, so it is
+  *never* retried: :func:`_run_task` converts it into a
+  :class:`~repro.core.profile_data.RunFailure` record carried home in the
+  task's :class:`RunOutput`.  The session completes degraded instead of
+  dying.
+* **Environmental worker failures** — a worker that raises, dies
+  (``SIGKILL`` → ``BrokenProcessPool``), or exceeds its deadline gets a
+  typed :class:`~repro.sim.errors.WorkerCrashError` /
+  :class:`~repro.sim.errors.WorkerHungError`.  These are retried under a
+  :class:`RetryPolicy`: capped exponential backoff with seeded jitter,
+  bounded in-pool attempts (a broken pool is rebuilt a bounded number of
+  times), and an in-parent execution as the last resort — so the session
+  completes whenever a serial session would.
+* **Watchdog** — with no explicit ``timeout``, each wait is bounded by a
+  deadline derived from the running median of healthy worker wall-times
+  (:class:`Watchdog`), so a hung worker can never hang the session.  Hung
+  futures cannot be ``cancel()``-ed and ``shutdown(wait=False)`` merely
+  orphans the processes, so the first hang terminates the pool outright
+  and the remaining tasks run in the parent.
+* **Circuit breaker** — after ``RetryPolicy.breaker_threshold``
+  *consecutive* worker failures the pool is evidently unhealthy: the
+  breaker opens and every remaining task runs serially in the parent
+  (one warning, not one per task).
+
+``KeyboardInterrupt``/``SystemExit`` are never swallowed: the pool's
+processes are terminated and the interrupt re-raised, and because the
+session journal (:mod:`repro.harness.journal`) fsyncs every record as it
+is written, a Ctrl-C'd session is immediately resumable.
 
 Auditing: with ``coz_config.audit`` set, each task's worker attaches a
 :class:`~repro.core.audit.DelayAuditor` and ships the resulting
@@ -39,17 +59,25 @@ bit-identity (the *parallel-serial-identity* invariant).
 from __future__ import annotations
 
 import concurrent.futures
+import multiprocessing
 import os
 import pickle
+import random
+import signal
+import time
 import warnings
+from bisect import insort
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import CozConfig
-from repro.core.profile_data import ProfileData
+from repro.core.profile_data import ProfileData, RunFailure
 from repro.core.profiler import CausalProfiler
+from repro.sim.errors import SimulationError, WorkerCrashError, WorkerHungError
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.program import Program, RunResult
 
 #: cancelled futures raise this; BaseException on modern Pythons, so a bare
@@ -78,6 +106,80 @@ def resolve_jobs(jobs: Optional[int], n_tasks: int) -> int:
     return max(1, min(jobs, n_tasks))
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor retries environmental worker failures.
+
+    Deterministic run failures (:class:`~repro.sim.errors.SimulationError`)
+    are never retried — same seed, same fault — so this policy governs only
+    worker crashes, pool breakage, and watchdog timeouts.
+    """
+
+    #: worker-process attempts per task before falling back to the parent
+    pool_attempts: int = 2
+    #: first backoff sleep; doubles per attempt up to :attr:`backoff_cap_s`
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    #: fraction of each backoff randomized away (seeded, deterministic)
+    jitter: float = 0.5
+    #: jitter stream seed
+    seed: int = 0
+    #: consecutive worker failures that open the circuit breaker
+    breaker_threshold: int = 3
+    #: times a broken pool is rebuilt before giving up on pooling
+    pool_recreations: int = 1
+
+    def backoff_s(self, attempt: int, task_seed: int) -> float:
+        """Capped exponential backoff with seeded jitter for one retry."""
+        base = min(self.backoff_cap_s, self.backoff_base_s * (2 ** attempt))
+        rng = random.Random(
+            (self.seed << 32) ^ task_seed ^ (attempt << 8) ^ 0xBACC
+        )
+        return base * (1.0 - self.jitter * rng.random())
+
+
+class Watchdog:
+    """Per-run deadline from a running median of healthy wall-times.
+
+    Until :attr:`min_samples` healthy runs have reported, the deadline is
+    the generous absolute cap; after that it is
+    ``factor * median + grace_s`` (still capped).  Only healthy worker
+    runs feed the median — failed or faulted runs do not shrink it.
+    """
+
+    def __init__(
+        self,
+        factor: float = 8.0,
+        grace_s: float = 2.0,
+        min_samples: int = 3,
+        max_deadline_s: float = 300.0,
+    ) -> None:
+        self.factor = factor
+        self.grace_s = grace_s
+        self.min_samples = min_samples
+        self.max_deadline_s = max_deadline_s
+        self._walls: List[float] = []
+
+    def observe(self, wall_s: float) -> None:
+        if wall_s > 0:
+            insort(self._walls, wall_s)
+
+    @property
+    def median_s(self) -> Optional[float]:
+        if not self._walls:
+            return None
+        n = len(self._walls)
+        mid = n // 2
+        if n % 2:
+            return self._walls[mid]
+        return (self._walls[mid - 1] + self._walls[mid]) / 2.0
+
+    def deadline_s(self) -> float:
+        if len(self._walls) < self.min_samples:
+            return self.max_deadline_s
+        return min(self.max_deadline_s, self.factor * self.median_s + self.grace_s)
+
+
 @dataclass
 class RunTask:
     """One simulation run: what to build, how to seed it, what to measure.
@@ -86,7 +188,9 @@ class RunTask:
     ``coz_config`` set the run happens under a :class:`CausalProfiler`
     seeded ``replace(coz_config, seed=seed)`` — the serial loop's exact
     recipe; with ``coz_config=None`` it is a plain (unprofiled) run, as
-    used by the comparison and overhead harnesses.
+    used by the comparison and overhead harnesses.  ``faults`` carries the
+    session's :class:`~repro.sim.faults.FaultPlan` into the run (sim-level
+    faults) and the worker (kill/hang faults).
     """
 
     index: int
@@ -98,12 +202,18 @@ class RunTask:
     program_factory: Optional[Callable[[int], Program]] = None
     progress_points: Tuple = ()
     latency_specs: Tuple = ()
+    #: fault-injection plan for this run (``None`` = no injection)
+    faults: Optional[FaultPlan] = None
 
 
 @dataclass
 class RunOutput:
     """Result of one task: a run summary plus (for profiled runs) the
-    profiler's data in the :meth:`ProfileData.to_json` wire format."""
+    profiler's data in the :meth:`ProfileData.to_json` wire format.
+
+    A task that failed deterministically carries a ``failure`` record
+    (:meth:`RunFailure.to_dict` wire form) instead of run data.
+    """
 
     index: int
     seed: int
@@ -111,10 +221,24 @@ class RunOutput:
     data_json: Optional[str] = None
     #: per-run invariant audit (wire format), when the config asked for one
     audit_json: Optional[str] = None
+    #: RunFailure wire dict when the run produced no data
+    failure: Optional[Dict[str, Any]] = None
+    #: worker-measured execution seconds (feeds the watchdog median);
+    #: wall-clock, so excluded from equality
+    wall_s: float = field(default=0.0, compare=False)
     #: in-process executions keep the live objects to skip re-parsing
     _data: Optional[ProfileData] = field(default=None, repr=False, compare=False)
     _run_result: Optional[RunResult] = field(default=None, repr=False, compare=False)
     _audit: Optional[object] = field(default=None, repr=False, compare=False)
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
+
+    def run_failure(self) -> Optional[RunFailure]:
+        if self.failure is None:
+            return None
+        return RunFailure.from_dict(self.failure)
 
     def profile_data(self) -> Optional[ProfileData]:
         if self._data is not None:
@@ -123,9 +247,11 @@ class RunOutput:
             return None
         return ProfileData.from_json(self.data_json)
 
-    def run_result(self) -> RunResult:
+    def run_result(self) -> Optional[RunResult]:
         if self._run_result is not None:
             return self._run_result
+        if self.failed:
+            return None
         return RunResult(engine=None, **self.run)
 
     def audit_report(self):
@@ -165,13 +291,30 @@ def _resolve_factory(task: RunTask):
 
 
 def _run_task(task: RunTask, keep_objects: bool = False) -> RunOutput:
-    """Execute one run; mirrors the serial loop body exactly."""
+    """Execute one run; mirrors the serial loop body exactly.
+
+    Deterministic simulation failures (deadlock, injected crash, stuck
+    lock-holder) become a failure-record output — they would fail
+    identically on any retry, so the run is marked lost and the session
+    carries on degraded.
+    """
     factory, points, latency = _resolve_factory(task)
     profiler = None
     if task.coz_config is not None:
         cfg = replace(task.coz_config, seed=task.seed)
         profiler = CausalProfiler(cfg, points, latency)
-    result = factory(task.seed).run(hook=profiler)
+    program = factory(task.seed)
+    run_config = None
+    if task.faults is not None and task.faults.any_sim_faults:
+        run_config = replace(program.config, faults=task.faults)
+    try:
+        if run_config is None:
+            result = program.run(hook=profiler)
+        else:
+            result = program.run(hook=profiler, config=run_config)
+    except SimulationError as exc:
+        failure = RunFailure.from_error(task.index, task.seed, exc)
+        return RunOutput(index=task.index, seed=task.seed, failure=failure.to_dict())
     out = RunOutput(index=task.index, seed=task.seed, run=_summarize(result))
     if keep_objects:
         out._run_result = result
@@ -185,13 +328,46 @@ def _run_task(task: RunTask, keep_objects: bool = False) -> RunOutput:
     return out
 
 
-def _run_task_in_worker(task: RunTask) -> RunOutput:
-    """Worker entry point: always returns the wire-format output."""
-    return _run_task(task, keep_objects=False)
+def _enact_worker_faults(task: RunTask, attempt: int) -> None:
+    """Make the *worker process* fail, when the plan says so.
+
+    Fires only inside pool workers (never in the parent) and only on a
+    task's first attempt — the attempt number is folded into the fault
+    RNG — so the executor's recovery paths are exercised and the retry
+    then succeeds.
+    """
+    plan = task.faults
+    if plan is None or not (plan.worker_kill or plan.worker_hang):
+        return
+    if multiprocessing.parent_process() is None:
+        return
+    inj = FaultInjector(plan, task.seed, attempt=attempt)
+    if inj.worker_kill:
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif inj.worker_hang:
+        time.sleep(plan.worker_hang_s)
 
 
-def _run_serial(tasks: List[RunTask]) -> List[RunOutput]:
-    return [_run_task(t, keep_objects=True) for t in tasks]
+def _run_task_in_worker(task: RunTask, attempt: int = 0) -> RunOutput:
+    """Worker entry point: wire-format output plus measured wall time."""
+    _enact_worker_faults(task, attempt)
+    start = time.perf_counter()
+    out = _run_task(task, keep_objects=False)
+    out.wall_s = time.perf_counter() - start
+    return out
+
+
+def _run_serial(
+    tasks: List[RunTask],
+    on_output: Optional[Callable[[RunTask, RunOutput], None]] = None,
+) -> List[RunOutput]:
+    outputs = []
+    for t in tasks:
+        out = _run_task(t, keep_objects=True)
+        if on_output is not None:
+            on_output(t, out)
+        outputs.append(out)
+    return outputs
 
 
 def _warn(message: str) -> None:
@@ -202,7 +378,7 @@ def _picklable(task: RunTask) -> bool:
     try:
         pickle.dumps(task)
         return True
-    except Exception:
+    except (pickle.PicklingError, AttributeError, TypeError):
         return False
 
 
@@ -244,7 +420,11 @@ def _audit_identity(tasks, outputs, audit_report) -> None:
             continue
         redo = _run_task(by_index[idx], keep_objects=True)
         checked += 1
-        same = redo.run == out.run and redo.profile_data() == out.profile_data()
+        same = (
+            redo.run == out.run
+            and redo.failure == out.failure
+            and redo.profile_data() == out.profile_data()
+        )
         if not same:
             failures += 1
             if not detail:
@@ -261,75 +441,217 @@ def _audit_identity(tasks, outputs, audit_report) -> None:
     ))
 
 
+class _PoolSession:
+    """Mutable state of one parallel batch: pool, futures, retry ledger."""
+
+    def __init__(self, tasks: List[RunTask], jobs: int, retry: RetryPolicy) -> None:
+        self.tasks = tasks
+        self.jobs = jobs
+        self.retry = retry
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.futures: Dict[int, concurrent.futures.Future] = {}
+        self.attempts: Dict[int, int] = {t.index: 0 for t in tasks}
+        self.outputs: Dict[int, RunOutput] = {}
+        self.consecutive_failures = 0
+        self.recreations = 0
+        #: pool unusable (terminated after a hang, or unrecoverably broken)
+        self.dead = False
+        #: breaker open: run everything remaining in the parent
+        self.breaker_open = False
+
+    def submit(self, task: RunTask) -> None:
+        self.futures[task.index] = self.pool.submit(
+            _run_task_in_worker, task, self.attempts[task.index]
+        )
+
+    def submit_unfinished(self) -> None:
+        for t in self.tasks:
+            if t.index not in self.outputs:
+                self.submit(t)
+
+    def harvest_done(self) -> None:
+        """Collect every already-finished future (before a pool teardown)."""
+        for t in self.tasks:
+            fut = self.futures.get(t.index)
+            if t.index in self.outputs or fut is None or not fut.done():
+                continue
+            try:
+                self.outputs[t.index] = fut.result(timeout=0)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except (_FutureCancelled, Exception):
+                pass  # it failed; the main loop will handle this task
+
+    def shutdown(self, now: bool = False) -> None:
+        if self.pool is None:
+            return
+        if now:
+            _terminate_pool(self.pool)
+        else:
+            self.pool.shutdown(wait=True, cancel_futures=True)
+        self.pool = None
+
+    def note_worker_failure(self) -> bool:
+        """Count a worker failure; returns True when the breaker opens."""
+        self.consecutive_failures += 1
+        if (
+            not self.breaker_open
+            and self.consecutive_failures >= self.retry.breaker_threshold
+        ):
+            self.breaker_open = True
+            _warn(
+                f"{self.consecutive_failures} consecutive worker failures: "
+                f"circuit breaker open, running remaining runs serially in "
+                f"the parent"
+            )
+        return self.breaker_open
+
+    def rebuild_pool(self) -> bool:
+        """Replace a broken pool, bounded by the retry policy."""
+        if self.recreations >= self.retry.pool_recreations:
+            return False
+        self.recreations += 1
+        try:
+            if self.pool is not None:
+                self.pool.shutdown(wait=False, cancel_futures=True)
+            self.pool = ProcessPoolExecutor(max_workers=self.jobs)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            _warn(f"could not rebuild process pool ({exc!r})")
+            self.pool = None
+            return False
+        self.submit_unfinished()
+        return True
+
+
 def execute_tasks(
     tasks: List[RunTask],
     jobs: int = 1,
     timeout: Optional[float] = None,
     audit_report=None,
+    retry: Optional[RetryPolicy] = None,
+    watchdog: Optional[Watchdog] = None,
+    on_output: Optional[Callable[[RunTask, RunOutput], None]] = None,
 ) -> List[RunOutput]:
     """Run every task, parallel when asked and possible, serial otherwise.
 
-    Outputs come back in task order regardless of completion order.  Each
-    failed or timed-out worker run is retried once in the parent; the first
-    timeout terminates the pool's processes (hung workers cannot be
-    cancelled) and the remaining unfinished tasks also run in the parent.
-    A pool that cannot start degrades the whole batch to serial with a
-    warning.  With an ``audit_report`` (an
-    :class:`~repro.core.audit.AuditReport`), a sampled subset of worker
+    Outputs come back in task order regardless of completion order.
+    Worker failures retry per ``retry`` (default :class:`RetryPolicy`):
+    in-pool with capped exponential backoff first, in the parent last, with
+    a circuit breaker that degrades the whole batch to in-parent serial
+    execution after repeated consecutive failures.  Waits are bounded by
+    ``timeout`` when given, else by the ``watchdog`` deadline (running
+    median of healthy wall-times); the first hang terminates the pool's
+    processes (hung workers cannot be cancelled) and the remaining tasks
+    run in the parent.  A pool that cannot start degrades the whole batch
+    to serial with a warning.
+
+    ``on_output`` is invoked once per task with its final output, as soon
+    as that output is known — the journal hook.  With an ``audit_report``
+    (an :class:`~repro.core.audit.AuditReport`), a sampled subset of worker
     runs is re-executed in the parent and checked for bit-identity.
     """
     jobs = resolve_jobs(jobs, len(tasks))
+    retry = retry or RetryPolicy()
     if jobs <= 1 or len(tasks) <= 1:
-        return _run_serial(tasks)
+        return _run_serial(tasks, on_output)
 
     if not all(_picklable(t) for t in tasks):
         _warn(
             "profiling tasks are not picklable (closure-based program factory "
             "not in the app registry); running serially"
         )
-        return _run_serial(tasks)
+        return _run_serial(tasks, on_output)
 
     try:
         pool = ProcessPoolExecutor(max_workers=jobs)
+    except (KeyboardInterrupt, SystemExit):
+        raise
     except Exception as exc:  # no fork support, no semaphores, ...
         _warn(f"could not start process pool ({exc!r}); running serially")
-        return _run_serial(tasks)
+        return _run_serial(tasks, on_output)
 
-    outputs: Dict[int, RunOutput] = {}
-    terminated = False
+    session = _PoolSession(tasks, jobs, retry)
+    session.pool = pool
+    watchdog = watchdog or Watchdog()
+
+    def finish(task: RunTask, out: RunOutput) -> None:
+        session.outputs[task.index] = out
+        if on_output is not None:
+            on_output(task, out)
+
+    def run_in_parent(task: RunTask, err: Optional[Exception] = None) -> None:
+        if err is not None:
+            _warn(
+                f"run {task.index} (seed {task.seed}) failed in worker "
+                f"({type(err).__name__}: {err}); retrying in parent"
+            )
+        finish(task, _run_task(task, keep_objects=True))
+
     try:
-        futures = {t.index: pool.submit(_run_task_in_worker, t) for t in tasks}
+        session.submit_unfinished()
         for task in tasks:
-            if task.index in outputs:
-                continue
-            try:
-                outputs[task.index] = futures[task.index].result(timeout=timeout)
-            except (Exception, _FutureCancelled) as exc:
-                # Covers raising workers, BrokenProcessPool after a worker
-                # death (which also fails every outstanding future), and
-                # per-run timeouts: the single retry runs in-parent, so the
-                # session completes whenever a serial session would.
-                if isinstance(exc, (_FutureTimeout, TimeoutError)) and not terminated:
-                    # harvest whatever already finished, then reclaim the
-                    # workers; the hung run and everything still queued are
-                    # re-run in the parent as this loop continues
-                    for other in tasks:
-                        fut = futures[other.index]
-                        if other.index not in outputs and fut.done():
-                            try:
-                                outputs[other.index] = fut.result(timeout=0)
-                            except (Exception, _FutureCancelled):
-                                pass
-                    _terminate_pool(pool)
-                    terminated = True
-                _warn(
-                    f"run {task.index} (seed {task.seed}) failed in worker "
-                    f"({type(exc).__name__}: {exc}); retrying in parent"
-                )
-                outputs[task.index] = _run_task(task, keep_objects=True)
+            while task.index not in session.outputs:
+                if session.dead or session.breaker_open:
+                    run_in_parent(task)
+                    break
+                fut = session.futures[task.index]
+                wait_s = timeout if timeout is not None else watchdog.deadline_s()
+                try:
+                    out = fut.result(timeout=wait_s)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except (_FutureTimeout, TimeoutError):
+                    err = WorkerHungError(
+                        f"worker exceeded its {wait_s:.1f}s deadline",
+                        deadline_s=wait_s,
+                    )
+                    session.note_worker_failure()
+                    # a hung worker cannot be cancelled: harvest what
+                    # finished, reclaim the processes, finish in the parent
+                    session.harvest_done()
+                    session.shutdown(now=True)
+                    session.dead = True
+                    run_in_parent(task, err)
+                except (_FutureCancelled, Exception) as exc:
+                    err = WorkerCrashError(
+                        f"worker failed ({type(exc).__name__}: {exc})",
+                        cause=exc,
+                    )
+                    attempt = session.attempts[task.index]
+                    session.attempts[task.index] = attempt + 1
+                    if session.note_worker_failure():
+                        continue  # breaker just opened; loop falls to parent
+                    if isinstance(exc, (BrokenProcessPool, _FutureCancelled)):
+                        # the pool died under this task (a SIGKILL-ed
+                        # worker breaks every outstanding future): rebuild
+                        # it a bounded number of times and resubmit all
+                        # unfinished work
+                        time.sleep(retry.backoff_s(attempt, task.seed))
+                        if not session.rebuild_pool():
+                            session.dead = True
+                            run_in_parent(task, err)
+                        continue
+                    if session.attempts[task.index] < retry.pool_attempts:
+                        time.sleep(retry.backoff_s(attempt, task.seed))
+                        session.submit(task)
+                        continue
+                    run_in_parent(task, err)
+                else:
+                    session.consecutive_failures = 0
+                    if not out.failed:
+                        watchdog.observe(out.wall_s)
+                    finish(task, out)
+    except (KeyboardInterrupt, SystemExit):
+        # never swallow an interrupt — reclaim the workers and re-raise;
+        # journaled records are already fsync'd, so the session is resumable
+        session.shutdown(now=True)
+        session.dead = True
+        raise
     finally:
-        if not terminated:
-            pool.shutdown(wait=True, cancel_futures=True)
+        if not session.dead:
+            session.shutdown(now=False)
     if audit_report is not None:
-        _audit_identity(tasks, outputs, audit_report)
-    return [outputs[t.index] for t in tasks]
+        _audit_identity(tasks, session.outputs, audit_report)
+    return [session.outputs[t.index] for t in tasks]

@@ -3,23 +3,42 @@
 Coz accumulates profile data across program executions; dense causal
 profiles come from many short runs.  :class:`ProfileRequest` describes one
 such multi-run session (how many runs, seeding, profiler configuration,
-parallelism) and :func:`run_profile_session` executes it, fanning runs out
-over the process-parallel executor when ``jobs != 1``.  Per-run seeds are
-``base_seed + i`` on both paths and results merge in run order, so a
-parallel session produces a merged :class:`ProfileData` bit-identical to
-the serial one.  :func:`profile_app` and :func:`profile_program` remain as
-thin keyword-style wrappers.
+parallelism, fault injection, journaling) and :func:`run_profile_session`
+executes it, fanning runs out over the process-parallel executor when
+``jobs != 1``.  Per-run seeds are ``base_seed + i`` on both paths and
+results merge in run order, so a parallel session produces a merged
+:class:`ProfileData` bit-identical to the serial one.
+
+Resilience: a run that fails deterministically (deadlock, injected fault)
+becomes a :class:`~repro.core.profile_data.RunFailure` record and the
+session completes *degraded* rather than dying.  With ``journal=`` set,
+every completed run is fsync'd to a crash-safe JSONL journal
+(:mod:`repro.harness.journal`); ``resume=`` replays a previous journal's
+completed runs and executes only the remaining schedule — because run
+``i`` is always seeded ``base_seed + i``, the resumed session's merged
+data is bit-identical to an uninterrupted one.
+
+:func:`profile_app` and :func:`profile_program` remain as thin
+keyword-style wrappers.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.apps.spec import AppSpec
 from repro.core.config import CozConfig
 from repro.core.profile_data import CausalProfile, ProfileData, build_causal_profile
-from repro.harness.parallel import RunTask, execute_tasks
+from repro.harness.journal import (
+    DEFAULT_SEGMENT,
+    JournalRecord,
+    SessionJournal,
+    canonical,
+)
+from repro.harness.parallel import RetryPolicy, RunOutput, RunTask, execute_tasks
+from repro.sim.faults import FaultPlan
 from repro.sim.program import RunResult
 
 
@@ -43,10 +62,26 @@ class ProfileRequest:
     #: worker processes: 1 = serial, 0/None = auto (cpu-count-aware)
     jobs: int = 1
     #: per-run timeout in seconds when running in worker processes
+    #: (``None`` = the executor's watchdog deadline)
     timeout: Optional[float] = None
     #: attach the invariant audit (:mod:`repro.core.audit`) to every run and
     #: merge the per-run reports into :attr:`ProfileOutcome.audit`
     audit: bool = False
+    #: fault-injection plan (:class:`~repro.sim.faults.FaultPlan`); part of
+    #: the session fingerprint, so a resumed chaos session re-injects the
+    #: same faults
+    faults: Optional[FaultPlan] = None
+    #: retry/backoff/circuit-breaker policy for worker failures
+    retry: Optional[RetryPolicy] = None
+    #: path to write a crash-safe session journal to (fsync'd per run)
+    journal: Optional[str] = None
+    #: path of a journal to resume from; replays its completed runs and
+    #: continues appending to the same file
+    resume: Optional[str] = None
+    #: testing hook: execute at most this many (non-replayed) runs, then
+    #: return the partial session — simulates dying mid-session without a
+    #: SIGKILL, for checkpoint/resume tests
+    stop_after_runs: Optional[int] = None
 
 
 @dataclass
@@ -63,6 +98,76 @@ class ProfileOutcome:
     def experiment_count(self) -> int:
         return len(self.data.experiments)
 
+    @property
+    def degraded(self) -> bool:
+        """True when at least one scheduled run produced no data."""
+        return self.data.degraded
+
+
+def session_fingerprint(
+    spec: AppSpec, request: "ProfileRequest", coz_config: CozConfig
+) -> dict:
+    """Everything that determines a session's results, canonicalized.
+
+    Execution-only knobs (``jobs``, ``timeout``, retry policy, the
+    observational ``audit`` flag) are excluded: a session may be resumed
+    with a different worker count and still merge bit-identically.  The
+    per-run seed overrides the config's ``seed`` field, so that is
+    normalized out too.
+    """
+    app = canonical(spec.registry_ref) if spec.registry_ref is not None else spec.name
+    return {
+        "kind": "profile-session",
+        "app": app,
+        "runs": request.runs,
+        "base_seed": request.base_seed,
+        "min_speedup_amounts": request.min_speedup_amounts,
+        "coz_config": canonical(replace(coz_config, seed=0, audit=False)),
+        "faults": canonical(request.faults),
+    }
+
+
+def _output_from_record(rec: JournalRecord) -> RunOutput:
+    """Rebuild a completed run's output from its journal record."""
+    if rec.kind == "failure":
+        return RunOutput(index=rec.index, seed=rec.seed, failure=rec.failure)
+    return RunOutput(
+        index=rec.index,
+        seed=rec.seed,
+        run=rec.run or {},
+        data_json=json.dumps(rec.data) if rec.data is not None else None,
+        audit_json=json.dumps(rec.audit) if rec.audit is not None else None,
+    )
+
+
+def output_wire_parts(out: RunOutput):
+    """(data_json, audit_json) for journaling, serializing live objects
+    when the output came from an in-process execution."""
+    data_json = out.data_json
+    if data_json is None:
+        data = out.profile_data()
+        data_json = data.to_json() if data is not None else None
+    audit_json = out.audit_json
+    if audit_json is None:
+        audit = out.audit_report()
+        audit_json = audit.to_json() if audit is not None else None
+    return data_json, audit_json
+
+
+def journal_hook(journal: Optional[SessionJournal], segment: str = DEFAULT_SEGMENT):
+    """An ``execute_tasks(on_output=...)`` callback that journals each run."""
+    if journal is None:
+        return None
+
+    def record(task: RunTask, out: RunOutput) -> None:
+        if out.failed:
+            journal.record_failure(segment, out.run_failure())
+            return
+        data_json, audit_json = output_wire_parts(out)
+        journal.record_run(segment, out.index, out.seed, out.run, data_json, audit_json)
+
+    return record
+
 
 def run_profile_session(
     spec: AppSpec,
@@ -74,7 +179,8 @@ def run_profile_session(
     built by :func:`repro.apps.registry.build` are rebuilt worker-side from
     their :class:`~repro.apps.registry.AppRef`, while unregistered specs
     (whose ``build`` closures cannot be pickled) fall back to serial with a
-    warning.
+    warning.  Deterministically failed runs are recorded in
+    ``outcome.data.failures`` and the session completes degraded.
     """
     request = request or ProfileRequest()
     coz_config = request.coz_config or CozConfig()
@@ -96,29 +202,64 @@ def run_profile_session(
             program_factory=None if spec.registry_ref is not None else spec.build,
             progress_points=tuple(spec.progress_points),
             latency_specs=tuple(spec.latency_specs),
+            faults=request.faults,
         )
         for i in range(request.runs)
     ]
-    outputs = execute_tasks(
-        tasks,
-        jobs=request.jobs,
-        timeout=request.timeout,
-        audit_report=audit_report if request.jobs != 1 else None,
-    )
+
+    journal: Optional[SessionJournal] = None
+    outputs: Dict[int, RunOutput] = {}
+    if request.resume is not None:
+        fingerprint = session_fingerprint(spec, request, coz_config)
+        journal = SessionJournal.resume(request.resume, fingerprint)
+        for idx, rec in journal.completed(DEFAULT_SEGMENT).items():
+            if idx < request.runs:
+                outputs[idx] = _output_from_record(rec)
+    elif request.journal is not None:
+        fingerprint = session_fingerprint(spec, request, coz_config)
+        journal = SessionJournal.create(request.journal, fingerprint)
+
+    remaining = [t for t in tasks if t.index not in outputs]
+    if request.stop_after_runs is not None:
+        remaining = remaining[: request.stop_after_runs]
+
+    try:
+        executed = execute_tasks(
+            remaining,
+            jobs=request.jobs,
+            timeout=request.timeout,
+            audit_report=audit_report if request.jobs != 1 else None,
+            retry=request.retry,
+            on_output=journal_hook(journal),
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    for out in executed:
+        outputs[out.index] = out
 
     data = ProfileData()
     run_results = []
-    for out in outputs:
+    for i in range(request.runs):
+        out = outputs.get(i)
+        if out is None:
+            continue  # stopped-early partial session (stop_after_runs)
+        if out.failed:
+            data.add_failure(out.run_failure())
+            continue
         data.merge(out.profile_data())
-        run_results.append(out.run_result())
+        result = out.run_result()
+        if result is not None:
+            run_results.append(result)
         if audit_report is not None:
             per_run = out.audit_report()
             if per_run is not None:
                 audit_report.merge(per_run)
     if audit_report is not None:
-        from repro.core.audit import audit_profile_data
+        from repro.core.audit import audit_profile_data, run_accounting_check
 
         audit_report.merge(audit_profile_data(data))
+        audit_report.add(run_accounting_check(len(outputs), data))
     profile = build_causal_profile(
         data,
         spec.primary_progress,
@@ -142,6 +283,7 @@ def profile_program(
     jobs: int = 1,
     timeout: Optional[float] = None,
     audit: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> ProfileOutcome:
     """Profile ``runs`` fresh programs from ``program_factory(seed)``.
 
@@ -164,6 +306,7 @@ def profile_program(
         jobs=jobs,
         timeout=timeout,
         audit=audit,
+        faults=faults,
     )
     return run_profile_session(spec, request)
 
@@ -177,6 +320,9 @@ def profile_app(
     jobs: int = 1,
     timeout: Optional[float] = None,
     audit: bool = False,
+    faults: Optional[FaultPlan] = None,
+    journal: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> ProfileOutcome:
     """Profile an app spec with its own scope and progress points."""
     request = ProfileRequest(
@@ -187,5 +333,8 @@ def profile_app(
         jobs=jobs,
         timeout=timeout,
         audit=audit,
+        faults=faults,
+        journal=journal,
+        resume=resume,
     )
     return run_profile_session(spec, request)

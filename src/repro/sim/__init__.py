@@ -19,7 +19,17 @@ Programs are written as generator functions that yield operations from
 
 from repro.sim.clock import MS, NS_PER_MS, NS_PER_SEC, NS_PER_US, SEC, US, fmt_ns
 from repro.sim.engine import Engine, SimConfig
-from repro.sim.errors import DeadlockError, SimulationError, SyncError
+from repro.sim.errors import (
+    DeadlockError,
+    RunFaultedError,
+    SimulationError,
+    StuckLockError,
+    SyncError,
+    ThreadCrashFault,
+    WorkerCrashError,
+    WorkerHungError,
+)
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.hooks import HookAction, Observer, ProfilerHook
 from repro.sim.ops import (
     IO,
@@ -59,8 +69,15 @@ __all__ = [
     "Engine",
     "SimConfig",
     "DeadlockError",
+    "FaultInjector",
+    "FaultPlan",
+    "RunFaultedError",
     "SimulationError",
+    "StuckLockError",
     "SyncError",
+    "ThreadCrashFault",
+    "WorkerCrashError",
+    "WorkerHungError",
     "HookAction",
     "Observer",
     "ProfilerHook",

@@ -71,7 +71,14 @@ from typing import Any, Callable, Deque, List, Optional, Set, Tuple
 
 from repro.sim import ops as O
 from repro.sim.clock import MS, US
-from repro.sim.errors import DeadlockError, SimulationError, SyncError
+from repro.sim.errors import (
+    DeadlockError,
+    SimulationError,
+    StuckLockError,
+    SyncError,
+    ThreadCrashFault,
+)
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.hooks import Observer, ProfilerHook
 from repro.sim.sampler import Sampler
 from repro.sim.source import RUNTIME_LINE, SourceLine
@@ -128,6 +135,9 @@ class SimConfig:
     #: delivery do not require quantum granularity (bit-identical results;
     #: False forces the legacy per-quantum inner loop)
     coalesce: bool = True
+    #: deterministic fault injection (:mod:`repro.sim.faults`); ``None``
+    #: disables every injection path at zero hot-loop cost
+    faults: Optional[FaultPlan] = None
 
 
 class Engine:
@@ -157,6 +167,15 @@ class Engine:
         self._sampling_live = False
         self._call_overhead_ns = 0
         self._coalesce = bool(self.cfg.coalesce)
+        # fault injection: built once per run from (plan seed, run seed), so
+        # the injector's RNG stream is disjoint from the engine's and a
+        # faulted schedule reproduces exactly
+        self._faults = (
+            FaultInjector(self.cfg.faults, self.cfg.seed)
+            if self.cfg.faults is not None and self.cfg.faults.any_sim_faults
+            else None
+        )
+        self._stalled: Optional[VThread] = None
 
         #: number of threads currently marked as spinning
         self.interference = 0
@@ -328,6 +347,8 @@ class Engine:
             self.hook.on_run_start(self)
         for obs in self.observers:
             obs.on_run_start(self)
+        if self._faults is not None:
+            self._arm_faults()
 
         max_ns = self.cfg.max_virtual_ns
         heap = self._heap
@@ -417,7 +438,8 @@ class Engine:
             if max_ns is not None and self.now > max_ns:
                 self.events_processed += events
                 raise SimulationError(
-                    f"virtual time exceeded max_virtual_ns ({self.now} > {max_ns})"
+                    f"virtual time exceeded max_virtual_ns ({self.now} > {max_ns})",
+                    virtual_ns=self.now,
                 )
             if self._alive and not running and not ready:
                 if self._sleeping == 0 and self._timer_count == 0:
@@ -432,14 +454,61 @@ class Engine:
             obs.on_run_end(self)
 
     def _raise_deadlock(self) -> None:
-        blocked = [
-            f"{t.name} on {t.blocked_on}"
+        raise DeadlockError(virtual_ns=self.now, blocked=self._blocked_diagnostics())
+
+    def _blocked_diagnostics(self):
+        """(name, blocked_on, full callchain) for every blocked thread."""
+        return [
+            (t.name, t.blocked_on, t.callchain())
             for t in self.threads
             if t.state is BLOCKED
         ]
-        raise DeadlockError(
-            f"no runnable threads at t={self.now}; blocked: {blocked or 'none'}"
-        )
+
+    # ------------------------------------------------------------------ faults
+
+    def _arm_faults(self) -> None:
+        """Schedule this run's injected faults as ordinary engine timers."""
+        inj = self._faults
+        if inj.crash_at_ns is not None:
+            self.call_at(inj.crash_at_ns, self._fault_crash)
+        if inj.stall_at_ns is not None:
+            self.call_at(inj.stall_at_ns, self._fault_stall)
+
+    def _fault_victim(self, prefer_running: bool) -> Optional[VThread]:
+        """Deterministic victim choice: first on-CPU thread in spawn order,
+        else the first alive unblocked one."""
+        if prefer_running:
+            for t in self.threads:
+                if t.state is RUNNING:
+                    return t
+        for t in self.threads:
+            if t.alive and t.state is not BLOCKED:
+                return t
+        return None
+
+    def _fault_crash(self) -> None:
+        victim = self._fault_victim(prefer_running=True)
+        if victim is None:
+            return  # nothing left to crash; the run is ending anyway
+        raise ThreadCrashFault(victim.name, self.now)
+
+    def _fault_stall(self) -> None:
+        """Wedge a running thread on-CPU (a stuck lock-holder, if it holds
+        one) and arm the in-sim stall detector."""
+        victim = self._fault_victim(prefer_running=True)
+        if victim is None:
+            return
+        victim.activity_remaining += self._faults.plan.stall_ns
+        self._stalled = victim
+        self.call_after(self._faults.plan.stall_detect_ns, self._fault_stall_detect)
+
+    def _fault_stall_detect(self) -> None:
+        victim = self._stalled
+        if victim is None or not victim.alive:
+            return
+        if victim.activity_remaining <= 0 and victim.state is not RUNNING:
+            return  # the stall drained (plan with a short stall_ns)
+        raise StuckLockError(victim.name, self.now, self._blocked_diagnostics())
 
     # ------------------------------------------------------------------ dispatch
 
@@ -649,6 +718,12 @@ class Engine:
                 self._deliver_batch(t, batch)
 
     def _deliver_batch(self, t: VThread, batch: List) -> None:
+        if self._faults is not None:
+            # lossy ring buffer: the batch the profiler sees may have lost
+            # or duplicated a sample (engine accounting is untouched)
+            batch = self._faults.perturb_batch(batch)
+            if not batch:
+                return
         for obs in self.observers:
             if getattr(obs, "wants_samples", False):
                 for s in batch:
@@ -664,6 +739,10 @@ class Engine:
         """Take the thread off-CPU for its pending profiler-inserted pause."""
         pause = t.pending_pause_ns
         t.pending_pause_ns = 0
+        if self._faults is not None:
+            # extreme nanosleep overshoot: the timeline pause stretches but
+            # the delay engine's books do not — the drift the audit catches
+            pause = self._faults.maybe_spike(pause, self.now)
         t.pause_ns += pause
         self.total_delay_ns += pause
         self._go_offcpu(t, SLEEPING, "inserted-pause")

@@ -255,8 +255,15 @@ def call(func: str, gen: Generator, callsite: Optional[SourceLine] = None) -> Ge
     yield PushFrame(func, callsite)
     try:
         result = yield from gen
-    finally:
+    except GeneratorExit:
+        # the run was abandoned mid-call (errored or faulted engine);
+        # yielding the frame pop here would be illegal, and the frame
+        # bookkeeping is moot
+        raise
+    except BaseException:
         yield PopFrame()
+        raise
+    yield PopFrame()
     return result
 
 

@@ -8,8 +8,10 @@ bench's session/program/legacy execution paths.
 
 import json
 
+import pytest
+
 from repro.cli import main as cli_main
-from repro.harness.bench import SCHEMA, VARIANTS, BenchCell, run_cell
+from repro.harness.bench import SCHEMA, VARIANTS, BenchCell, run_cell, write_bench
 
 
 def _metrics(result):
@@ -62,3 +64,29 @@ def test_bench_cli_schema_and_history(tmp_path, capsys):
     assert "speedup_vs_legacy" in doc["summary"]
     assert [h["label"] for h in doc["history"]] == ["seed", "current"]
     assert "bench results written" in capsys.readouterr().out
+
+
+def test_write_bench_tolerates_missing_history(tmp_path):
+    out = tmp_path / "BENCH_engine.json"
+    write_bench({"schema": SCHEMA, "history": [{"label": "a"}]}, str(out))
+    doc = json.loads(out.read_text())
+    assert [h["label"] for h in doc["history"]] == ["a"]
+
+
+@pytest.mark.parametrize(
+    "prior",
+    [
+        "{{{{ not json at all",                       # undecodable
+        json.dumps({"schema": SCHEMA, "history": 7}),  # wrong history type
+    ],
+    ids=["corrupt-json", "non-list-history"],
+)
+def test_write_bench_tolerates_corrupt_history(tmp_path, prior):
+    """A broken prior file must not raise away a finished measurement."""
+    out = tmp_path / "BENCH_engine.json"
+    out.write_text(prior)
+    with pytest.warns(UserWarning, match="starting a fresh history"):
+        write_bench({"schema": SCHEMA, "history": [{"label": "new"}]}, str(out))
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == SCHEMA
+    assert [h["label"] for h in doc["history"]] == ["new"]
