@@ -98,6 +98,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     request = ProfileRequest(
         runs=args.runs, coz_config=cfg, jobs=args.jobs, audit=args.audit,
         faults=_fault_plan(args), journal=args.journal, resume=args.resume,
+        checkpoint=not args.no_checkpoint, checkpoint_dir=args.checkpoint_dir,
     )
     outcome = run_profile_session(spec, request)
     print(f"{outcome.experiment_count} experiments over {args.runs} runs")
@@ -150,7 +151,7 @@ def cmd_overhead(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.harness.bench import run_bench, write_bench
+    from repro.harness.bench import baseline_history, run_bench, write_bench
 
     doc = run_bench(
         quick=args.quick,
@@ -162,6 +163,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             {
                 "label": args.label,
                 "generated_unix": doc["generated_unix"],
+                # quick runs are crash smoke only: the tag keeps them out
+                # of cross-PR baseline comparisons (bench.baseline_history)
+                "quick": doc["quick"],
                 "summary": doc["summary"],
             }
         ]
@@ -178,6 +182,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if legacy:
         pairs = ", ".join(f"{app} {ratio:.2f}x" for app, ratio in legacy.items())
         print(f"coalescing speedup vs legacy quantum path: {pairs}")
+    ckpt = doc["summary"].get("checkpoint_speedup") or {}
+    if ckpt:
+        pairs = ", ".join(f"{app} {ratio:.2f}x" for app, ratio in ckpt.items())
+        print(f"checkpoint fast-forward speedup vs cold sessions: {pairs}")
+    baselines = baseline_history(doc.get("history", []))
+    if baselines:
+        print(f"cross-PR baselines on record: {len(baselines)} "
+              f"({len(doc.get('history', [])) - len(baselines)} quick entries excluded)")
     print(f"bench results written to {args.output}")
     return 0
 
@@ -258,6 +270,17 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("--graphs", type=int, default=0, help="render N ASCII graphs")
     p.add_argument("--optimized", action="store_true")
     p.add_argument("--coz-output", help="write raw experiments in Coz's file format")
+    p.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="disable checkpoint fast-forward (always simulate runs cold; "
+             "results are bit-identical either way)",
+    )
+    p.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="on-disk checkpoint cache shared across sessions and workers; "
+             "a cache built for a different configuration is invalidated "
+             "with a warning, never silently reused",
+    )
     _add_jobs_flag(p)
     _add_audit_flag(p)
     _add_resilience_flags(p)

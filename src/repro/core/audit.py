@@ -401,4 +401,61 @@ def run_doctor(
             f"bit-identical to an uninterrupted session"
         ),
     ))
+
+    # checkpoint fast-forward (repro.harness.checkpoint): populate a
+    # snapshot store, then demand that warm-resumed sessions — serial from
+    # memory, parallel from a shared disk cache, and under chaos faults —
+    # are bit-identical to cold runs
+    from repro.harness.checkpoint import clear_memory_cache
+    from repro.sim.faults import FaultPlan
+
+    cold = run_profile_session(spec, ProfileRequest(
+        runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1,
+        checkpoint=False,
+    ))
+    with tempfile.TemporaryDirectory() as tmp:
+        clear_memory_cache()
+        run_profile_session(spec, ProfileRequest(   # cold populate pass
+            runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1,
+            checkpoint_dir=tmp,
+        ))
+        warm = run_profile_session(spec, ProfileRequest(
+            runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1,
+        ))
+        report.add(_check(
+            "checkpoint-cold-identity",
+            warm.data == cold.data,
+            detail="snapshot-resumed serial session is not bit-identical "
+                   "to a cold session",
+        ))
+        clear_memory_cache()  # force the workers/parent onto the disk cache
+        warm_parallel = run_profile_session(spec, ProfileRequest(
+            runs=runs, base_seed=base_seed, coz_config=cfg, jobs=jobs,
+            checkpoint_dir=tmp,
+        ))
+        report.add(_check(
+            "checkpoint-parallel-identity",
+            warm_parallel.data == cold.data,
+            detail="snapshot-resumed parallel session is not bit-identical "
+                   "to a cold serial session",
+        ))
+
+    plan = FaultPlan.chaos(seed=base_seed, intensity=0.5)
+    clear_memory_cache()
+    chaos_cold = run_profile_session(spec, ProfileRequest(
+        runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1, faults=plan,
+        checkpoint=False,
+    ))
+    run_profile_session(spec, ProfileRequest(       # chaos populate pass
+        runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1, faults=plan,
+    ))
+    chaos_warm = run_profile_session(spec, ProfileRequest(
+        runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1, faults=plan,
+    ))
+    report.add(_check(
+        "checkpoint-chaos-identity",
+        chaos_warm.data == chaos_cold.data,
+        detail="snapshot-resumed chaos session (injected faults) is not "
+               "bit-identical to a cold chaos session",
+    ))
     return report

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from repro.sim.source import SourceLine
+from repro.sim.source import SourceLine, intern_line
 
 
 @dataclass
@@ -84,10 +84,19 @@ class ExperimentResult:
 
     # -- wire format (cross-process result transfer) -------------------------------
 
-    def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe dict; every field is an int, str, or str-keyed dict."""
+    def to_dict(self, lines: Optional[Dict[SourceLine, int]] = None) -> Dict[str, Any]:
+        """JSON-safe dict; every field is an int, str, or str-keyed dict.
+
+        With ``lines`` (a shared SourceLine -> index intern table owned by
+        the enclosing document), ``"line"`` is an index into that table;
+        without it, the inline ``[file, lineno]`` pair of wire version 1.
+        """
+        if lines is None:
+            line_key: Any = [self.line.file, self.line.lineno]
+        else:
+            line_key = lines.setdefault(self.line, len(lines))
         return {
-            "line": [self.line.file, self.line.lineno],
+            "line": line_key,
             "speedup_pct": self.speedup_pct,
             "delay_ns": self.delay_ns,
             "start_ns": self.start_ns,
@@ -100,10 +109,17 @@ class ExperimentResult:
         }
 
     @classmethod
-    def from_dict(cls, d: Dict[str, Any]) -> "ExperimentResult":
-        file, lineno = d["line"]
+    def from_dict(
+        cls, d: Dict[str, Any], lines: Optional[list] = None
+    ) -> "ExperimentResult":
+        key = d["line"]
+        if isinstance(key, int):  # wire v2: index into the document's table
+            line = lines[key]  # type: ignore[index]
+        else:  # wire v1: inline [file, lineno]
+            file, lineno = key
+            line = intern_line(file, lineno)
         return cls(
-            line=SourceLine(file, lineno),
+            line=line,
             speedup_pct=d["speedup_pct"],
             delay_ns=d["delay_ns"],
             start_ns=d["start_ns"],

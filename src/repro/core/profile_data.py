@@ -25,7 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.experiment import ExperimentResult
 from repro.core.progress import LatencySpec
-from repro.sim.source import SourceLine
+from repro.sim.source import SourceLine, intern_line
 from repro.stats.bootstrap import bootstrap_pair_se
 from repro.stats.regression import Regression, linear_regression
 
@@ -43,21 +43,38 @@ class RunInfo:
     def effective_ns(self) -> int:
         return self.runtime_ns - self.total_delay_ns
 
-    def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe dict; line samples become ``[file, lineno, count]``."""
+    def to_dict(self, lines: Optional[Dict[SourceLine, int]] = None) -> Dict[str, Any]:
+        """JSON-safe dict.
+
+        With ``lines`` (the document's shared SourceLine -> index intern
+        table), line samples are ``[index, count]`` pairs; without it, the
+        inline ``[file, lineno, count]`` triples of wire version 1.
+        """
+        if lines is None:
+            samples = [
+                [src.file, src.lineno, n] for src, n in sorted(self.line_samples.items())
+            ]
+        else:
+            samples = [
+                [lines.setdefault(src, len(lines)), n]
+                for src, n in sorted(self.line_samples.items())
+            ]
         return {
             "runtime_ns": self.runtime_ns,
             "total_delay_ns": self.total_delay_ns,
-            "line_samples": [
-                [src.file, src.lineno, n] for src, n in sorted(self.line_samples.items())
-            ],
+            "line_samples": samples,
         }
 
     @classmethod
-    def from_dict(cls, d: Dict[str, Any]) -> "RunInfo":
+    def from_dict(cls, d: Dict[str, Any], lines: Optional[List] = None) -> "RunInfo":
         info = cls(runtime_ns=d["runtime_ns"], total_delay_ns=d["total_delay_ns"])
-        for file, lineno, n in d["line_samples"]:
-            info.line_samples[SourceLine(file, lineno)] = n
+        for entry in d["line_samples"]:
+            if len(entry) == 2:  # wire v2: [index, count]
+                idx, n = entry
+                info.line_samples[lines[idx]] = n  # type: ignore[index]
+            else:  # wire v1: [file, lineno, count]
+                file, lineno, n = entry
+                info.line_samples[intern_line(file, lineno)] = n
         return info
 
 
@@ -174,15 +191,28 @@ class ProfileData:
     # container of those, so the JSON round trip is lossless: merging
     # deserialized copies yields data equal to merging the originals.  This
     # is what the parallel executor ships back from worker processes.
+    #
+    # Version 2 interns source locations: a top-level ``"lines"`` table of
+    # ``[file, lineno]`` pairs (first-encounter order over experiments then
+    # runs), with experiments' ``"line"`` and runs' ``"line_samples"`` keyed
+    # by index.  A session profiles a handful of lines across hundreds of
+    # experiments, so the table collapses the dominant repeated strings in
+    # the payload workers ship back.  ``from_json`` still accepts version 1
+    # (inline pairs) — journals and on-disk profiles recorded before the
+    # table existed stay readable.
 
-    WIRE_VERSION = 1
+    WIRE_VERSION = 2
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """Serialize to the wire format (a JSON document)."""
+        lines: Dict[SourceLine, int] = {}
+        experiments = [e.to_dict(lines) for e in self.experiments]
+        runs = [r.to_dict(lines) for r in self.runs]
         doc: Dict[str, Any] = {
             "version": self.WIRE_VERSION,
-            "experiments": [e.to_dict() for e in self.experiments],
-            "runs": [r.to_dict() for r in self.runs],
+            "lines": [[src.file, src.lineno] for src in lines],
+            "experiments": experiments,
+            "runs": runs,
         }
         # emitted only when present: a clean session's wire form is
         # byte-identical to pre-failure-record versions (golden traces)
@@ -192,16 +222,17 @@ class ProfileData:
 
     @classmethod
     def from_json(cls, text: str) -> "ProfileData":
-        """Rebuild from :meth:`to_json` output."""
+        """Rebuild from :meth:`to_json` output (wire version 1 or 2)."""
         doc = json.loads(text)
         version = doc.get("version")
-        if version != cls.WIRE_VERSION:
+        if version not in (1, cls.WIRE_VERSION):
             raise ValueError(f"unsupported ProfileData wire version: {version!r}")
+        table = [intern_line(file, lineno) for file, lineno in doc.get("lines", [])]
         data = cls()
         for ed in doc["experiments"]:
-            data.add_experiment(ExperimentResult.from_dict(ed))
+            data.add_experiment(ExperimentResult.from_dict(ed, table))
         for rd in doc["runs"]:
-            data.add_run(RunInfo.from_dict(rd))
+            data.add_run(RunInfo.from_dict(rd, table))
         for fd in doc.get("failures", []):
             data.add_failure(RunFailure.from_dict(fd))
         return data

@@ -40,6 +40,38 @@ _RUNNING = "running"    # an experiment is in flight
 _COOLOFF = "cooloff"    # draining samples between experiments
 
 
+class _ProfTimer:
+    """A pending profiler timer as a named, serializable callable.
+
+    The experiment-end and cooloff timers used to be lambdas, which a
+    checkpoint snapshot (repro.sim.snapshot) cannot carry across the
+    capture/restore boundary.  This object is behaviourally identical but
+    exposes ``snapshot_ref()`` so the recorder can serialize the pending
+    timer and the profiler can rebuild it on restore.
+    """
+
+    __slots__ = ("profiler", "kind", "token")
+
+    #: experiment-duration elapsed -> _end_experiment(token)
+    END = "end"
+    #: cooloff elapsed -> _leave_cooloff(token)
+    COOL = "cool"
+
+    def __init__(self, profiler: "CausalProfiler", kind: str, token: int) -> None:
+        self.profiler = profiler
+        self.kind = kind
+        self.token = token
+
+    def __call__(self) -> None:
+        if self.kind == _ProfTimer.END:
+            self.profiler._end_experiment(self.token)
+        else:
+            self.profiler._leave_cooloff(self.token)
+
+    def snapshot_ref(self):
+        return (self.kind, self.token)
+
+
 class CausalProfiler(ProfilerHook):
     """Coz as a simulator hook."""
 
@@ -217,7 +249,9 @@ class CausalProfiler(ProfilerHook):
         self.state = _RUNNING
         self._experiment_token += 1
         token = self._experiment_token
-        engine.call_after(self.experiment_duration, lambda: self._end_experiment(token))
+        engine.call_after(
+            self.experiment_duration, _ProfTimer(self, _ProfTimer.END, token)
+        )
 
     def _end_experiment(self, token: int) -> None:
         if token != self._experiment_token or self.state != _RUNNING:
@@ -265,12 +299,89 @@ class CausalProfiler(ProfilerHook):
         )
         self._experiment_token += 1
         cool_token = self._experiment_token
-        engine.call_after(cooloff, lambda: self._leave_cooloff(cool_token))
+        engine.call_after(cooloff, _ProfTimer(self, _ProfTimer.COOL, cool_token))
 
     def _leave_cooloff(self, token: int) -> None:
         if token != self._experiment_token or self.state != _COOLOFF:
             return
         self.state = _WAIT
+
+    # ------------------------------------------------------------------ snapshot
+
+    # Checkpoint fast-forward protocol (repro.sim.snapshot): the recorder
+    # captures the profiler's state alongside the engine's, and restore()
+    # rehydrates a *fresh* profiler from it.  Per-thread delay bookkeeping
+    # (coz_local / coz_excess) lives in VThread.prof and is carried by the
+    # engine-side thread overlays, not here.
+
+    def snapshot_state(self):
+        from repro.sim.snapshot import SnapshotError
+
+        if self.auditor is not None:
+            # the auditor keeps its own shadow books mid-run; audited
+            # sessions always run cold
+            raise SnapshotError("audited profiler runs are not snapshot-aware")
+        return {
+            "data": self.data.to_json(),
+            "tracker_counts": dict(self.tracker.counts),
+            "line_samples": dict(self.line_samples),
+            "state": self.state,
+            "experiment_duration": self.experiment_duration,
+            "schedule_idx": self._schedule_idx,
+            "experiment_token": self._experiment_token,
+            "run_delay_ns": self._run_delay_ns,
+            "line": self._line,
+            "pct": self._pct,
+            "delay_ns": self._delay_ns,
+            "start_ns": self._start_ns,
+            "counts_before": dict(self._counts_before),
+            "s_obs": self._s_obs,
+            "rng": self.rng.getstate(),
+            "delays": {
+                "active": self.delays.active,
+                "delay_ns": self.delays.delay_ns,
+                "global_count": self.delays.global_count,
+                "total_inserted_ns": self.delays.total_inserted_ns,
+                "total_required_ns": self.delays.total_required_ns,
+                "rng": self.delays._rng.getstate(),
+            },
+        }
+
+    def restore_state(self, state, engine) -> None:
+        from repro.sim.snapshot import SnapshotError
+
+        if self.auditor is not None:
+            raise SnapshotError("audited profiler runs are not snapshot-aware")
+        self.data = ProfileData.from_json(state["data"])
+        self.tracker.counts = Counter(state["tracker_counts"])
+        self.line_samples = Counter(state["line_samples"])
+        self.state = state["state"]
+        self.experiment_duration = state["experiment_duration"]
+        self._schedule_idx = state["schedule_idx"]
+        self._experiment_token = state["experiment_token"]
+        self._run_delay_ns = state["run_delay_ns"]
+        self._line = state["line"]
+        self._pct = state["pct"]
+        self._delay_ns = state["delay_ns"]
+        self._start_ns = state["start_ns"]
+        self._counts_before = dict(state["counts_before"])
+        self._s_obs = state["s_obs"]
+        self.rng.setstate(state["rng"])
+        d = state["delays"]
+        self.delays.active = d["active"]
+        self.delays.delay_ns = d["delay_ns"]
+        self.delays.global_count = d["global_count"]
+        self.delays.total_inserted_ns = d["total_inserted_ns"]
+        self.delays.total_required_ns = d["total_required_ns"]
+        self.delays._rng.setstate(d["rng"])
+
+    def restore_timer(self, ref):
+        kind, token = ref
+        if kind not in (_ProfTimer.END, _ProfTimer.COOL):
+            from repro.sim.snapshot import SnapshotError
+
+            raise SnapshotError(f"unknown profiler timer kind {kind!r}")
+        return _ProfTimer(self, kind, token)
 
     # ------------------------------------------------------------------ delay edges
 

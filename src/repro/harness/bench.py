@@ -30,12 +30,23 @@ The matrix covers three apps (example, ferret, sqlite) in five variants:
     like ``program`` with ``coalesce=False``, i.e. the retained
     quantum-chunked event loop.  ``summary.speedup_vs_legacy`` =
     ``legacy.wall_s / program.wall_s`` is the reproducible, same-process
-    measure of what chunk coalescing buys on each workload.
+    measure of what chunk coalescing buys on each workload;
+``checkpoint``
+    the ``session`` cell with checkpoint fast-forward on
+    (:mod:`repro.harness.checkpoint`): one untimed populate pass records
+    prefix snapshots, then every timed trial resumes warm.
+    ``summary.checkpoint_speedup`` = ``session.wall_s /
+    checkpoint.wall_s`` records what snapshot/resume buys per app — and
+    because the resumed sessions are bit-identical, the cell's
+    deterministic metrics double as an identity check against the
+    ``session`` cell (mismatches warn).
 
 Wall-clock numbers are noisy on shared machines; the sim-side metrics
 (``virtual_ns``, ``events``, ``samples``) are bit-deterministic and double
 as a cheap identity check.  ``--quick`` shrinks runs/repeats for CI smoke
-jobs (no timing thresholds there — crash detection only).
+jobs (no timing thresholds there — crash detection only); quick documents
+are tagged ``quick: true`` and their history entries are excluded from
+cross-PR baseline comparisons (:func:`baseline_history`).
 """
 
 from __future__ import annotations
@@ -59,13 +70,14 @@ SCHEMA = "bench-engine/v1"
 #: the fixed app matrix every ``repro bench`` invocation runs
 MATRIX_APPS = ("example", "ferret", "sqlite")
 
-#: variant name -> (mode, coz overrides, sim overrides)
+#: variant name -> (mode, coz overrides, sim overrides, bench options)
 VARIANTS = {
-    "session": ("session", {}, {}),
-    "nosampling": ("session", {"enable_sampling": False}, {}),
-    "program": ("program", {}, {}),
-    "nojitter": ("program", {}, {"sample_phase_jitter": False}),
-    "legacy": ("program", {}, {"coalesce": False}),
+    "session": ("session", {}, {}, {}),
+    "nosampling": ("session", {"enable_sampling": False}, {}, {}),
+    "program": ("program", {}, {}, {}),
+    "nojitter": ("program", {}, {"sample_phase_jitter": False}, {}),
+    "legacy": ("program", {}, {"coalesce": False}, {}),
+    "checkpoint": ("session", {}, {}, {"checkpoint": True}),
 }
 
 
@@ -130,11 +142,15 @@ def default_matrix(quick: bool = False, apps: Optional[List[str]] = None) -> Lis
     ]
 
 
-def _run_session_cell(cell: BenchCell, coz_over: Dict) -> Dict:
+def _run_session_cell(cell: BenchCell, coz_over: Dict, checkpoint: bool = False) -> Dict:
+    # checkpoint is pinned per variant: the plain session cell must stay a
+    # cold baseline (comparable across PRs) even though the public request
+    # defaults checkpointing on
     spec = registry.build(cell.app)
     cfg = replace(CozConfig(scope=spec.scope), **coz_over) if coz_over else None
     out = run_profile_session(
-        spec, ProfileRequest(runs=cell.runs, jobs=1, coz_config=cfg)
+        spec,
+        ProfileRequest(runs=cell.runs, jobs=1, coz_config=cfg, checkpoint=checkpoint),
     )
     return {
         "virtual_ns": sum(r.runtime_ns for r in out.run_results),
@@ -162,13 +178,22 @@ def _run_program_cell(cell: BenchCell, coz_over: Dict, sim_over: Dict) -> Dict:
 
 def run_cell(cell: BenchCell) -> CellResult:
     """Measure one cell: ``repeats`` timed trials, best wall wins."""
-    mode, coz_over, sim_over = VARIANTS[cell.variant]
+    mode, coz_over, sim_over, opts = VARIANTS[cell.variant]
+    checkpoint = bool(opts.get("checkpoint"))
+    if checkpoint:
+        # one untimed populate pass from an empty cache: every timed trial
+        # below then measures the warm resume path, which is the thing the
+        # checkpoint cell exists to track
+        from repro.harness.checkpoint import clear_memory_cache
+
+        clear_memory_cache()
+        _run_session_cell(cell, coz_over, checkpoint=True)
     walls: List[float] = []
     metrics: Dict = {}
     for _ in range(cell.repeats):
         t0 = time.perf_counter()
         if mode == "session":
-            metrics = _run_session_cell(cell, coz_over)
+            metrics = _run_session_cell(cell, coz_over, checkpoint=checkpoint)
         else:
             metrics = _run_program_cell(cell, coz_over, sim_over)
         walls.append(time.perf_counter() - t0)
@@ -199,11 +224,28 @@ def run_bench(
 
     by_name = {c.name: c for c in cells}
     speedup_vs_legacy = {}
+    checkpoint_speedup = {}
     for app in dict.fromkeys(c.app for c in cells):
         base = by_name.get(f"{app}/program")
         legacy = by_name.get(f"{app}/legacy")
         if base and legacy and base.wall_s:
             speedup_vs_legacy[app] = round(legacy.wall_s / base.wall_s, 3)
+        cold = by_name.get(f"{app}/session")
+        warm = by_name.get(f"{app}/checkpoint")
+        if cold and warm and warm.wall_s:
+            checkpoint_speedup[app] = round(cold.wall_s / warm.wall_s, 3)
+            # the resumed sessions claim bit-identity with the cold ones;
+            # the deterministic metrics are a free cross-check
+            if (cold.virtual_ns, cold.events, cold.samples) != (
+                warm.virtual_ns,
+                warm.events,
+                warm.samples,
+            ):
+                warnings.warn(
+                    f"{app}: checkpoint cell metrics differ from the cold "
+                    f"session cell — snapshot resume is NOT bit-identical",
+                    stacklevel=2,
+                )
 
     doc = {
         "schema": SCHEMA,
@@ -216,6 +258,7 @@ def run_bench(
         "cells": [c.to_json() for c in cells],
         "summary": {
             "speedup_vs_legacy": speedup_vs_legacy,
+            "checkpoint_speedup": checkpoint_speedup,
             "ferret_session_wall_s": (
                 round(by_name["ferret/session"].wall_s, 4)
                 if "ferret/session" in by_name
@@ -225,6 +268,18 @@ def run_bench(
         "history": [],
     }
     return doc
+
+
+def baseline_history(history: List[Dict]) -> List[Dict]:
+    """History entries usable as cross-PR performance baselines.
+
+    ``--quick`` runs exist for CI crash detection only — their tiny
+    runs/repeats make the timings meaningless — so their entries carry
+    ``quick: true`` and are excluded from any ``speedup_vs_legacy`` /
+    ``checkpoint_speedup`` trajectory comparison.  Entries written before
+    the tag existed have no ``quick`` key and count as full runs.
+    """
+    return [h for h in history if not h.get("quick")]
 
 
 def write_bench(doc: Dict, path: str) -> None:

@@ -204,6 +204,16 @@ class RunTask:
     latency_specs: Tuple = ()
     #: fault-injection plan for this run (``None`` = no injection)
     faults: Optional[FaultPlan] = None
+    #: checkpoint fast-forward (repro.harness.checkpoint): resume this run
+    #: from a stored snapshot when one exists, record one when it doesn't
+    checkpoint: bool = False
+    #: canonical run fingerprint the checkpoint store is keyed by
+    checkpoint_key: Optional[str] = None
+    #: shared on-disk checkpoint cache (workers read and populate it)
+    checkpoint_dir: Optional[str] = None
+    #: prefix snapshot shipped from the parent's store, so fan-out cost
+    #: does not scale with warmup length (workers skip the store lookup)
+    snapshot: Optional[object] = field(default=None, repr=False)
 
 
 @dataclass
@@ -290,27 +300,60 @@ def _resolve_factory(task: RunTask):
     return task.program_factory, task.progress_points, task.latency_specs
 
 
+def _checkpoint_store(task: RunTask):
+    """The task's checkpoint store, or ``None`` when it cannot help.
+
+    Workers without a shared cache directory skip the store entirely: their
+    in-memory cache dies with the process, so recording there is pure
+    overhead (a shipped ``task.snapshot`` still resumes them warm).
+    """
+    if not task.checkpoint or task.checkpoint_key is None:
+        return None
+    in_worker = multiprocessing.parent_process() is not None
+    if in_worker and task.checkpoint_dir is None:
+        return None
+    from repro.harness.checkpoint import CheckpointStore
+
+    return CheckpointStore(task.checkpoint_key, directory=task.checkpoint_dir)
+
+
 def _run_task(task: RunTask, keep_objects: bool = False) -> RunOutput:
     """Execute one run; mirrors the serial loop body exactly.
 
     Deterministic simulation failures (deadlock, injected crash, stuck
     lock-holder) become a failure-record output — they would fail
     identically on any retry, so the run is marked lost and the session
-    carries on degraded.
+    carries on degraded.  Checkpointed tasks go through
+    :func:`repro.harness.checkpoint.execute_run`, which resumes from the
+    deepest stored snapshot when one exists and records fresh checkpoints
+    when it doesn't — bit-identical either way, including reproducing a
+    deterministic failure from a snapshot taken before the fault fired.
     """
     factory, points, latency = _resolve_factory(task)
-    profiler = None
-    if task.coz_config is not None:
-        cfg = replace(task.coz_config, seed=task.seed)
-        profiler = CausalProfiler(cfg, points, latency)
-    program = factory(task.seed)
-    run_config = None
-    if task.faults is not None and task.faults.any_sim_faults:
-        run_config = replace(program.config, faults=task.faults)
+
+    def build():
+        profiler = None
+        if task.coz_config is not None:
+            cfg = replace(task.coz_config, seed=task.seed)
+            profiler = CausalProfiler(cfg, points, latency)
+        program = factory(task.seed)
+        run_config = None
+        if task.faults is not None and task.faults.any_sim_faults:
+            run_config = replace(program.config, faults=task.faults)
+        return program, profiler, run_config
+
     try:
-        if run_config is None:
-            result = program.run(hook=profiler)
+        if task.checkpoint and task.coz_config is not None:
+            from repro.harness.checkpoint import execute_run
+
+            result, profiler = execute_run(
+                build,
+                task.seed,
+                snapshot=task.snapshot,
+                store=_checkpoint_store(task),
+            )
         else:
+            program, profiler, run_config = build()
             result = program.run(hook=profiler, config=run_config)
     except SimulationError as exc:
         failure = RunFailure.from_error(task.index, task.seed, exc)

@@ -82,6 +82,15 @@ class ProfileRequest:
     #: return the partial session — simulates dying mid-session without a
     #: SIGKILL, for checkpoint/resume tests
     stop_after_runs: Optional[int] = None
+    #: checkpoint fast-forward (:mod:`repro.harness.checkpoint`): resume
+    #: runs from stored prefix snapshots when bit-identical ones exist and
+    #: record snapshots when they don't.  Execution-only (results are
+    #: bit-identical either way), so excluded from the session fingerprint.
+    #: Ignored for unregistered specs and audited sessions.
+    checkpoint: bool = True
+    #: optional on-disk checkpoint cache shared across processes/sessions;
+    #: ``None`` = in-memory only
+    checkpoint_dir: Optional[str] = None
 
 
 @dataclass
@@ -193,6 +202,22 @@ def run_profile_session(
         coz_config = replace(coz_config, audit=True)
         audit_report = AuditReport()
 
+    # Checkpoint fast-forward: only registry-referenced apps have a stable
+    # identity to key the store by, and audited sessions always run cold
+    # (the auditor keeps shadow books the snapshot cannot carry).  The
+    # store opens here, in the parent, so a stale on-disk cache warns (and
+    # is invalidated) at session start rather than deep inside a worker.
+    store = None
+    if (
+        request.checkpoint
+        and spec.registry_ref is not None
+        and audit_report is None
+    ):
+        from repro.harness.checkpoint import CheckpointStore, checkpoint_fingerprint
+
+        key = checkpoint_fingerprint(spec, coz_config, request.faults)
+        store = CheckpointStore(key, directory=request.checkpoint_dir)
+
     tasks = [
         RunTask(
             index=i,
@@ -203,6 +228,12 @@ def run_profile_session(
             progress_points=tuple(spec.progress_points),
             latency_specs=tuple(spec.latency_specs),
             faults=request.faults,
+            checkpoint=store is not None,
+            checkpoint_key=store.key if store is not None else None,
+            checkpoint_dir=store.directory if store is not None else None,
+            # ship the prefix snapshot with the task: workers resume warm
+            # without a store round-trip, and the transfer happens once
+            snapshot=store.get(request.base_seed + i) if store is not None else None,
         )
         for i in range(request.runs)
     ]

@@ -98,6 +98,10 @@ _EV_OVERHEAD = 2   # obj=thread, arg=chunk_token  -> profiler CPU slice done
 _EV_SLEEP = 3      # obj=thread, arg=chunk_token  -> timed suspension over
 _EV_TIMER = 4      # obj=callable                 -> profiler-thread timer
 
+#: op-log sentinel marking a spawn *execution* (see ``_do_spawn``); the
+#: generator-send entries use an Op (or None for StopIteration) in this slot
+_SPAWN_EXEC = object()
+
 
 @dataclass
 class SimConfig:
@@ -192,6 +196,15 @@ class Engine:
 
         self.main_thread: Optional[VThread] = None
         self._started = False
+
+        # checkpoint fast-forward plumbing (repro.sim.snapshot): when a
+        # Recorder is attached, every generator send is appended to _oplog
+        # and the run loop takes a state snapshot each time virtual time is
+        # about to cross _snap_next.  All three stay None on ordinary runs,
+        # so the hot path pays one local None-check per event.
+        self._oplog: Optional[List] = None
+        self._snap_next: Optional[int] = None
+        self._recorder = None
 
         # per-op-class setup plans: type -> (cpu_cost_ns, completion_action,
         # blocking, waking); a None action marks Work, which is special-cased
@@ -349,11 +362,35 @@ class Engine:
             obs.on_run_start(self)
         if self._faults is not None:
             self._arm_faults()
+        self._dispatch()
+        self._event_loop()
+        self._finish_run()
 
+    def resume_run(self) -> None:
+        """Continue a snapshot-restored engine to completion.
+
+        The restore path (:mod:`repro.sim.snapshot`) rebuilds the exact
+        state the cold run had at a top-of-loop instant, so resuming means
+        re-entering the event loop directly: no ``on_run_start``, no fault
+        arming (pending fault timers are already in the restored heap), and
+        no initial dispatch (the capture point follows the previous
+        iteration's dispatch).  ``on_run_end`` fires normally.
+        """
+        if not self._started:
+            raise SimulationError("resume_run() needs a snapshot-restored engine")
+        self._event_loop()
+        self._finish_run()
+
+    def _finish_run(self) -> None:
+        if self.hook is not None:
+            self.hook.on_run_end(self)
+        for obs in self.observers:
+            obs.on_run_end(self)
+
+    def _event_loop(self) -> None:
         max_ns = self.cfg.max_virtual_ns
         heap = self._heap
         pop = heapq.heappop
-        self._dispatch()
         # Loop-invariant hoists: sampling/observer wiring is fixed once the
         # run has started (on_run_start above is the last chance to change
         # it), and the ready/running containers are mutated in place.
@@ -365,12 +402,21 @@ class Engine:
         batch_size = sampler.batch_size
         sampling_live = self._sampling_live
         coalesce = self._coalesce
+        snap_next = self._snap_next
         events = 0
         while self._alive:
             if not heap:
                 self.events_processed += events
                 events = 0
                 self._raise_deadlock()
+            if snap_next is not None and heap[0][0] >= snap_next:
+                # virtual time is about to cross a checkpoint-grid boundary
+                # and the engine is quiescent (between events): capture.
+                # The early events_processed flush keeps the final total
+                # identical whether or not this run is ever resumed.
+                self.events_processed += events
+                events = 0
+                snap_next = self._take_checkpoint()
             when, _lp, _sub, _seq, kind, obj, arg = pop(heap)
             if when > self.now:
                 self.now = when
@@ -448,10 +494,19 @@ class Engine:
                     self._raise_deadlock()
         self.events_processed += events
 
-        if self.hook is not None:
-            self.hook.on_run_end(self)
-        for obs in self.observers:
-            obs.on_run_end(self)
+    def _take_checkpoint(self) -> Optional[int]:
+        """Hand the attached recorder a capture opportunity.
+
+        Returns the next grid boundary (or None to stop capturing).  A
+        capture failure disables further snapshots but never perturbs or
+        kills the run — the run simply stays cold.
+        """
+        recorder = self._recorder
+        if recorder is None:
+            self._snap_next = None
+            return None
+        self._snap_next = recorder.take(self)
+        return self._snap_next
 
     def _raise_deadlock(self) -> None:
         raise DeadlockError(virtual_ns=self.now, blocked=self._blocked_diagnostics())
@@ -849,16 +904,22 @@ class Engine:
         needs virtual time, a sync edge, or the thread left the CPU.
         """
         table = self._op_table
+        oplog = self._oplog
         while True:
+            sv = t.send_value
             try:
-                op = t.gen.send(t.send_value)
+                op = t.gen.send(sv)
             except StopIteration as stop:
+                if oplog is not None:
+                    oplog.append((t.tid, sv, None))
                 t.exit_value = stop.value
                 self._begin_exit(t)
                 return
             except Exception:
                 # surface app bugs with thread context
                 raise
+            if oplog is not None:
+                oplog.append((t.tid, sv, op))
             t.send_value = None
             t.current_op = op
             cls = op.__class__
@@ -1107,6 +1168,12 @@ class Engine:
 
     def _do_spawn(self, t: VThread, op) -> None:
         child = self.spawn(op.body, name=op.name, parent=t)
+        if self._oplog is not None:
+            # spawn execution happens a spawn-cost continuation *after* the
+            # parent yielded Spawn, so child-tid assignment order is a
+            # scheduling fact, not derivable from yield order; record it
+            # explicitly so replay creates children at the same instants
+            self._oplog.append((child.tid, t.tid, _SPAWN_EXEC))
         t.send_value = child
 
     def _do_progress(self, t: VThread, op) -> None:

@@ -66,25 +66,53 @@ class Program:
         hook: Optional[ProfilerHook] = None,
         observers: Sequence[Observer] = (),
         config: Optional[SimConfig] = None,
+        recorder=None,
     ) -> RunResult:
-        """Execute the program once and return aggregate metrics."""
+        """Execute the program once and return aggregate metrics.
+
+        ``recorder`` (a :class:`repro.sim.snapshot.Recorder`) attaches
+        checkpoint capture to the run; see :func:`resume` for the matching
+        restore-side entry point.
+        """
         engine = Engine(config or self.config)
         engine.program = self  # type: ignore[attr-defined] # for hooks needing metadata
         if hook is not None:
             engine.install(hook)
         for obs in observers:
             engine.add_observer(obs)
+        if recorder is not None:
+            recorder.attach(engine)
         engine.spawn(self.main, name="main")
         engine.run()
-        profiler_cpu = sum(t.profiler_cpu_ns for t in engine.threads)
-        return RunResult(
-            runtime_ns=engine.now,
-            cpu_ns=engine.total_cpu_ns,
-            profiler_cpu_ns=profiler_cpu,
-            delay_ns=engine.total_delay_ns,
-            progress_counts=dict(engine.progress_counts),
-            thread_count=len(engine.threads),
-            sample_count=engine.sampler.total_samples,
-            events_processed=engine.events_processed,
-            engine=engine,
-        )
+        return result_from_engine(engine)
+
+    def resume(self, snapshot, hook=None, config=None) -> RunResult:
+        """Finish a run from a checkpoint instead of from t=0.
+
+        Bit-identical to :meth:`run` with the same hook/config by the
+        argument in DESIGN.md §5f.  The program instance must be freshly
+        built: the snapshot replay partially re-executes its generators,
+        so a program whose closures already ran to completion cannot be
+        resumed.
+        """
+        from repro.sim.snapshot import restore
+
+        engine = restore(snapshot, self, hook=hook, config=config)
+        engine.resume_run()
+        return result_from_engine(engine)
+
+
+def result_from_engine(engine: Engine) -> RunResult:
+    """Aggregate metrics of a finished engine (cold or snapshot-resumed)."""
+    profiler_cpu = sum(t.profiler_cpu_ns for t in engine.threads)
+    return RunResult(
+        runtime_ns=engine.now,
+        cpu_ns=engine.total_cpu_ns,
+        profiler_cpu_ns=profiler_cpu,
+        delay_ns=engine.total_delay_ns,
+        progress_counts=dict(engine.progress_counts),
+        thread_count=len(engine.threads),
+        sample_count=engine.sampler.total_samples,
+        events_processed=engine.events_processed,
+        engine=engine,
+    )

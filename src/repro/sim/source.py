@@ -41,6 +41,31 @@ class SourceLine:
         return f"SourceLine({self})"
 
 
+#: bound on the process-wide intern table; a pathological stream of distinct
+#: locations resets the table instead of growing it without limit
+_INTERN_CAP = 65536
+
+_intern_cache: dict = {}
+
+
+def intern_line(file: str, lineno: int) -> SourceLine:
+    """Canonical :class:`SourceLine` for ``(file, lineno)``.
+
+    Wire-format decoding rebuilds the same few hundred source locations
+    thousands of times across experiments and per-run sample counters.
+    Sharing one object per location keeps decoded profiles compact and
+    makes equality checks on the merge path mostly identity hits.
+    """
+    key = (file, lineno)
+    src = _intern_cache.get(key)
+    if src is None:
+        if len(_intern_cache) >= _INTERN_CAP:
+            _intern_cache.clear()
+        src = SourceLine(file, lineno)
+        _intern_cache[key] = src
+    return src
+
+
 # The pseudo-line used for simulator-internal time (scheduler bookkeeping,
 # profiler processing cost, ...).  It is never in scope.
 RUNTIME_LINE = SourceLine("<runtime>", 0)

@@ -183,9 +183,46 @@ def test_merge_after_round_trip_equals_direct_merge():
 
 def test_from_json_rejects_unknown_wire_version():
     d = data_with([exp(L, 0, 10, 10)])
-    doc = d.to_json().replace('"version": 1', '"version": 99')
+    doc = d.to_json().replace(
+        f'"version": {ProfileData.WIRE_VERSION}', '"version": 99'
+    )
     with pytest.raises(ValueError, match="wire version"):
         ProfileData.from_json(doc)
+
+
+def test_from_json_accepts_wire_version_1():
+    # documents recorded before the interned line table (journals, on-disk
+    # profiles) carry inline [file, lineno] pairs and no "lines" table
+    import json
+
+    d = data_with([exp(L, 0, 10, 10), exp(L2, 0, 5, 10)], line_samples={L: 7})
+    doc = json.loads(d.to_json())
+    table = doc.pop("lines")
+    doc["version"] = 1
+    for e in doc["experiments"]:
+        e["line"] = table[e["line"]]
+    for r in doc["runs"]:
+        r["line_samples"] = [table[i] + [n] for i, n in r["line_samples"]]
+    assert ProfileData.from_json(json.dumps(doc)) == d
+
+
+def test_wire_v2_interns_lines_in_shared_table():
+    import json
+
+    d = data_with(
+        [exp(L, 0, 10, 10), exp(L, 50, 10, 8), exp(L2, 0, 5, 10)],
+        line_samples={L: 7, L2: 3},
+    )
+    doc = json.loads(d.to_json())
+    assert doc["version"] == ProfileData.WIRE_VERSION
+    assert [L.file, L.lineno] in doc["lines"]
+    # three experiments over two lines share two table slots
+    assert len(doc["lines"]) == 2
+    assert all(isinstance(e["line"], int) for e in doc["experiments"])
+    assert all(
+        isinstance(i, int) for r in doc["runs"] for i, _n in r["line_samples"]
+    )
+    assert ProfileData.from_json(json.dumps(doc)) == d
 
 
 def test_profile_data_equality_semantics():

@@ -1,8 +1,13 @@
 """Golden-trace equivalence matrix (engine bit-identity referee).
 
-The ``GOLDEN`` hashes below were recorded on the pre-optimization engine
-(quantum-chunked inner loop, PR 2 state plus the tid/sampler-rounding bug
-fixes that land in the same PR as the coalescing overhaul).  Every cell runs
+The ``GOLDEN`` hashes below were first recorded on the pre-optimization
+engine (quantum-chunked inner loop, PR 2 state plus the tid/sampler-rounding
+bug fixes that land in the same PR as the coalescing overhaul) and
+re-recorded when the ``ProfileData`` wire format gained the interned line
+table (version 2) — a serialization-only change: the engine traces were
+verified bit-identical against the version-1 hashes immediately before the
+wire flip, so trace identity still chains back to the original recording.
+Every cell runs
 an app x config combination — serial/parallel sessions, sampling on/off,
 sample-phase jitter on/off, nanosleep jitter on/off, interference on/off —
 and fingerprints everything observable about the execution:
@@ -121,17 +126,18 @@ CELLS = {
     ),
 }
 
-# Recorded on the pre-optimization (quantum-chunked) engine; see module doc.
+# Trace identity chains to the pre-optimization engine; bytes re-recorded
+# for wire format v2 (interned line table) — see module doc.
 GOLDEN = {
-    "example_cozjitter": "c223d509340774b37e359a114e95f33c96886bb9709a5d8e2ac6a4fb9c09f53b",
-    "example_jitter": "541d40fb2a30534ea31b83b37987a7722cc0849f0aac4b042c9b65ecf9759c76",
-    "example_nojitter": "297dc3ef1a20f6829a3bf10e1383854fed0b8dd57c7fe21d85c5f1515e8e8bae",
-    "example_nosampling": "7a683d967cea0e2e59bd6a2008fd983c4438addd00a1ccb75c25009ed4f000e4",
-    "example_session": "3f39753b297b3229d82c7b697286343732e65cc06102787c6a7e5dadf5918e49",
-    "ferret_session": "d04f26055dc6ce244c4bebc1f5d58c7b1e787c8ab1452fd0e4bd5a541dfe293e",
-    "sqlite_session": "784b069ef7e8e7dadeab183bcccdb69619418a53e4eaac53580e17373dc4f59c",
-    "streamcluster_interference": "ed7af2aa1c224d6a28d2218dd833337f1019def03a90fc6c923b764a817d88e5",
-    "streamcluster_nointerference": "309abe155fde07fa0de6070d19446bd10ccf0365f2a38518e8a959ad76ccae51",
+    "example_cozjitter": "39dfbd00a904be109ecf8823ec9a47a3b2b505d05c46a808b1458f6a8fe9e92d",
+    "example_jitter": "8e0552a088f1d57e532dae8dc25ebfa54ad1759580910c3470e058ed27f9a63c",
+    "example_nojitter": "00a81d641a380220c227519bb5eceb7f3637a004f548f96adedf9e924231ab32",
+    "example_nosampling": "c809a2f8891175a002ffbf431a074b99bb95c8458beb61e8524619099ca678fa",
+    "example_session": "fe87d61875f284ee7597737248cfcd4d9335a30646cb6ec8b5c9e086128455ef",
+    "ferret_session": "9aa134f090497f01d53174cd808384a3ff0dd30c9fe1c3ea2f78098afb017a2b",
+    "sqlite_session": "2caa2afdec70bc9eca636ff7040ef52619106181c44800cb40881e932f438584",
+    "streamcluster_interference": "a22cada3ee8bd315b961582fdbe45b792f5282254baf201f07c8b089203e670f",
+    "streamcluster_nointerference": "1c8f03fcba89987620ad428ef2e9c81c3783f6511cd04bcf1a73d8d082d31af8",
 }
 
 
