@@ -8,6 +8,9 @@ The package has four layers:
 * :mod:`repro.core` — the causal profiler itself: performance experiments,
   sampled virtual speedups with counter-based delay coordination, progress
   points (throughput and latency), phase correction, profile analysis;
+* :mod:`repro.plan` — pluggable experiment planners: the default static
+  round-robin schedule, and an adaptive successive-halving planner with
+  variance-aware early stopping;
 * :mod:`repro.baselines` — gprof- and perf-style conventional profilers;
 * :mod:`repro.apps` + :mod:`repro.harness` — the paper's evaluation:
   simulated Memcached, SQLite, and PARSEC workloads with their
@@ -40,12 +43,22 @@ from repro.core import (
     to_coz_format,
     top_line,
 )
+from repro.harness.comparison import compare_app
+from repro.harness.request import ExecutionConfig, ResilienceConfig
 from repro.harness.runner import (
     ProfileOutcome,
     ProfileRequest,
     profile_app,
     profile_program,
     run_profile_session,
+)
+from repro.plan import (
+    AdaptivePlanner,
+    ExperimentPlan,
+    PlanConfig,
+    Planner,
+    PlanReport,
+    StaticPlanner,
 )
 from repro.sim import (
     MS,
@@ -64,15 +77,24 @@ from repro.sim import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptivePlanner",
     "CausalProfile",
     "CausalProfiler",
     "CozConfig",
+    "ExecutionConfig",
+    "ExperimentPlan",
     "LatencySpec",
     "LineProfile",
+    "PlanConfig",
+    "PlanReport",
+    "Planner",
     "ProfileData",
     "ProfileOutcome",
     "ProfileRequest",
     "ProgressPoint",
+    "ResilienceConfig",
+    "StaticPlanner",
+    "compare_app",
     "profile_app",
     "profile_program",
     "run_profile_session",

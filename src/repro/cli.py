@@ -21,6 +21,12 @@ Parallel and serial sessions produce identical results.  The same three
 subcommands accept ``--audit`` to run under the invariant audit; a failed
 audit prints its report and exits nonzero.
 
+``profile`` also accepts ``--planner static|adaptive`` and ``--budget N``:
+the static planner reproduces the historical round-robin schedule
+bit-identically, while the adaptive planner spends the run budget on
+successive halving over candidate lines with variance-aware early
+stopping, printing per-line spend/stop columns and its decision log.
+
 Resilience flags (``profile`` and ``compare``): ``--journal PATH`` writes
 a crash-safe session journal (one fsync'd record per completed run) and
 ``--resume PATH`` continues an interrupted session from one, merging
@@ -44,12 +50,15 @@ from repro.core.report import (
     render_audit,
     render_failures,
     render_line_graph,
+    render_plan,
     render_profile,
     to_coz_format,
 )
 from repro.harness.comparison import compare_builds
 from repro.harness.overhead import measure_overhead
+from repro.harness.request import ExecutionConfig, ResilienceConfig
 from repro.harness.runner import ProfileRequest, run_profile_session
+from repro.plan import PLANNERS, PlanConfig
 from repro.sim.clock import MS
 
 
@@ -96,15 +105,25 @@ def cmd_profile(args: argparse.Namespace) -> int:
         speedup_values=tuple(range(0, 101, args.speedup_step)),
     )
     request = ProfileRequest(
-        runs=args.runs, coz_config=cfg, jobs=args.jobs, audit=args.audit,
-        faults=_fault_plan(args), journal=args.journal, resume=args.resume,
-        checkpoint=not args.no_checkpoint, checkpoint_dir=args.checkpoint_dir,
+        runs=args.runs, coz_config=cfg, audit=args.audit,
+        execution=ExecutionConfig(
+            jobs=args.jobs,
+            checkpoint=not args.no_checkpoint,
+            checkpoint_dir=args.checkpoint_dir,
+        ),
+        resilience=ResilienceConfig(
+            faults=_fault_plan(args), journal=args.journal, resume=args.resume,
+        ),
+        plan=PlanConfig(planner=args.planner, budget=args.budget),
     )
     outcome = run_profile_session(spec, request)
-    print(f"{outcome.experiment_count} experiments over {args.runs} runs")
+    ran = outcome.plan.runs_planned if outcome.plan else args.runs
+    print(f"{outcome.experiment_count} experiments over {ran} runs")
     if outcome.degraded:
         print(render_failures(outcome.data))
-    print(render_profile(outcome.profile, top=args.top))
+    print(render_profile(outcome.profile, top=args.top, plan=outcome.plan))
+    if args.planner != "static" and outcome.plan:
+        print(render_plan(outcome.plan))
     if args.graphs:
         for lp in outcome.profile.ranked()[: args.graphs]:
             print(render_line_graph(lp))
@@ -280,6 +299,18 @@ def main(argv: Optional[list] = None) -> int:
         help="on-disk checkpoint cache shared across sessions and workers; "
              "a cache built for a different configuration is invalidated "
              "with a warning, never silently reused",
+    )
+    p.add_argument(
+        "--planner", choices=PLANNERS, default="static",
+        help="experiment planner: 'static' reproduces the historical "
+             "round-robin schedule bit-identically; 'adaptive' runs "
+             "successive halving over candidate lines with variance-aware "
+             "early stopping (default: static)",
+    )
+    p.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="planner run budget (default: --runs); the adaptive planner "
+             "may stop early when every line converges",
     )
     _add_jobs_flag(p)
     _add_audit_flag(p)

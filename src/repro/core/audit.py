@@ -333,7 +333,11 @@ def run_doctor(
     invariants), a jitter-enabled one (exercises the nanosleep-excess
     reconciliation), and a parallel one (worker-shipped audits, a sampled
     in-parent re-execution, and full-session bit-identity against the
-    serial run).  Returns the merged report; ``repro doctor`` renders it.
+    serial run).  On top of those it checks journal resume, planner
+    identity/replay (an explicit StaticPlanner session must be bit-identical
+    to the default session; an adaptive session must replay identically
+    through a journal interruption), and checkpoint fast-forward identity.
+    Returns the merged report; ``repro doctor`` renders it.
 
     ``jobs`` counts worker processes for the parallel session; 0 (the
     CLI's auto value) forces two workers so the cross-process path is
@@ -343,6 +347,7 @@ def run_doctor(
 
     from repro.apps import registry
     from repro.core.config import CozConfig
+    from repro.harness.request import ExecutionConfig, ResilienceConfig
     from repro.harness.runner import ProfileRequest, run_profile_session
     from repro.sim.clock import MS
 
@@ -350,22 +355,25 @@ def run_doctor(
         jobs = 2
     spec = registry.build(app_name, **build_kwargs)
     cfg = CozConfig(scope=spec.scope, experiment_duration_ns=MS(experiment_ms))
+    serial_exec = ExecutionConfig(jobs=1)
     report = AuditReport()
 
     serial = run_profile_session(spec, ProfileRequest(
-        runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1, audit=True,
+        runs=runs, base_seed=base_seed, coz_config=cfg,
+        execution=serial_exec, audit=True,
     ))
     report.merge(serial.audit)
 
     jittered = run_profile_session(spec, ProfileRequest(
         runs=runs, base_seed=base_seed,
         coz_config=replace(cfg, nanosleep_jitter_ns=jitter_ns),
-        jobs=1, audit=True,
+        execution=serial_exec, audit=True,
     ))
     report.merge(jittered.audit)
 
     parallel = run_profile_session(spec, ProfileRequest(
-        runs=runs, base_seed=base_seed, coz_config=cfg, jobs=jobs, audit=True,
+        runs=runs, base_seed=base_seed, coz_config=cfg,
+        execution=ExecutionConfig(jobs=jobs), audit=True,
     ))
     report.merge(parallel.audit)
     report.add(_check(
@@ -386,12 +394,12 @@ def run_doctor(
     with tempfile.TemporaryDirectory() as tmp:
         path = os.path.join(tmp, "session.journal")
         run_profile_session(spec, ProfileRequest(
-            runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1,
-            journal=path, stop_after_runs=half,
+            runs=runs, base_seed=base_seed, coz_config=cfg, execution=serial_exec,
+            resilience=ResilienceConfig(journal=path, stop_after_runs=half),
         ))
         resumed = run_profile_session(spec, ProfileRequest(
-            runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1,
-            resume=path,
+            runs=runs, base_seed=base_seed, coz_config=cfg, execution=serial_exec,
+            resilience=ResilienceConfig(resume=path),
         ))
     report.add(_check(
         "journal-resume-identity",
@@ -399,6 +407,54 @@ def run_doctor(
         detail=(
             f"session resumed after {half} of {runs} journaled runs is not "
             f"bit-identical to an uninterrupted session"
+        ),
+    ))
+
+    # planner API (repro.plan): an explicit static planner must be a no-op
+    # relative to the default session, and the adaptive planner — whose
+    # schedule is derived from observed data — must replay deterministically
+    # through a journal interruption
+    from repro.plan import PlanConfig
+
+    static_plan = run_profile_session(spec, ProfileRequest(
+        runs=runs, base_seed=base_seed, coz_config=cfg, execution=serial_exec,
+        plan=PlanConfig(planner="static"),
+    ))
+    report.add(_check(
+        "planner-static-identity",
+        static_plan.data == serial.data,
+        detail="explicit StaticPlanner session is not bit-identical to the "
+               "default (plan-less) session",
+    ))
+
+    adaptive_req = dict(
+        runs=runs, base_seed=base_seed, coz_config=cfg, execution=serial_exec,
+        plan=PlanConfig(planner="adaptive", budget=runs),
+    )
+    adaptive = run_profile_session(spec, ProfileRequest(**adaptive_req))
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "adaptive.journal")
+        run_profile_session(spec, ProfileRequest(
+            **adaptive_req,
+            resilience=ResilienceConfig(journal=path, stop_after_runs=half),
+        ))
+        adaptive_resumed = run_profile_session(spec, ProfileRequest(
+            **adaptive_req,
+            resilience=ResilienceConfig(resume=path),
+        ))
+    same_data = adaptive_resumed.data == adaptive.data
+    same_plan = (
+        adaptive_resumed.plan is not None and adaptive.plan is not None
+        and adaptive_resumed.plan.to_dict() == adaptive.plan.to_dict()
+    )
+    report.add(_check(
+        "planner-resume-identity",
+        same_data and same_plan,
+        detail=(
+            f"adaptive session resumed after {half} of {runs} journaled runs "
+            f"diverged from an uninterrupted one "
+            f"(data identical: {same_data}, plan identical: {same_plan}) — "
+            f"the planner's decisions are not a pure function of observed data"
         ),
     ))
 
@@ -410,17 +466,17 @@ def run_doctor(
     from repro.sim.faults import FaultPlan
 
     cold = run_profile_session(spec, ProfileRequest(
-        runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1,
-        checkpoint=False,
+        runs=runs, base_seed=base_seed, coz_config=cfg,
+        execution=ExecutionConfig(jobs=1, checkpoint=False),
     ))
     with tempfile.TemporaryDirectory() as tmp:
         clear_memory_cache()
         run_profile_session(spec, ProfileRequest(   # cold populate pass
-            runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1,
-            checkpoint_dir=tmp,
+            runs=runs, base_seed=base_seed, coz_config=cfg,
+            execution=ExecutionConfig(jobs=1, checkpoint_dir=tmp),
         ))
         warm = run_profile_session(spec, ProfileRequest(
-            runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1,
+            runs=runs, base_seed=base_seed, coz_config=cfg, execution=serial_exec,
         ))
         report.add(_check(
             "checkpoint-cold-identity",
@@ -430,8 +486,8 @@ def run_doctor(
         ))
         clear_memory_cache()  # force the workers/parent onto the disk cache
         warm_parallel = run_profile_session(spec, ProfileRequest(
-            runs=runs, base_seed=base_seed, coz_config=cfg, jobs=jobs,
-            checkpoint_dir=tmp,
+            runs=runs, base_seed=base_seed, coz_config=cfg,
+            execution=ExecutionConfig(jobs=jobs, checkpoint_dir=tmp),
         ))
         report.add(_check(
             "checkpoint-parallel-identity",
@@ -443,14 +499,17 @@ def run_doctor(
     plan = FaultPlan.chaos(seed=base_seed, intensity=0.5)
     clear_memory_cache()
     chaos_cold = run_profile_session(spec, ProfileRequest(
-        runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1, faults=plan,
-        checkpoint=False,
+        runs=runs, base_seed=base_seed, coz_config=cfg,
+        execution=ExecutionConfig(jobs=1, checkpoint=False),
+        resilience=ResilienceConfig(faults=plan),
     ))
     run_profile_session(spec, ProfileRequest(       # chaos populate pass
-        runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1, faults=plan,
+        runs=runs, base_seed=base_seed, coz_config=cfg, execution=serial_exec,
+        resilience=ResilienceConfig(faults=plan),
     ))
     chaos_warm = run_profile_session(spec, ProfileRequest(
-        runs=runs, base_seed=base_seed, coz_config=cfg, jobs=1, faults=plan,
+        runs=runs, base_seed=base_seed, coz_config=cfg, execution=serial_exec,
+        resilience=ResilienceConfig(faults=plan),
     ))
     report.add(_check(
         "checkpoint-chaos-identity",

@@ -35,6 +35,10 @@ class CozConfig:
     #: cycle deterministically through these speedups instead of sampling
     #: randomly (dense sweeps for figure regeneration)
     speedup_schedule: Optional[Sequence[int]] = None
+    #: stop starting experiments after this many have completed in the run
+    #: (None = unlimited); lets a planner budget directed runs at
+    #: experiment granularity
+    max_experiments: Optional[int] = None
     #: RNG seed for line/speedup selection
     seed: int = 0
 
@@ -90,3 +94,5 @@ class CozConfig:
             raise ValueError("speedup_values must include the 0% baseline")
         if self.min_visits < 1:
             raise ValueError("min_visits must be >= 1")
+        if self.max_experiments is not None and self.max_experiments < 1:
+            raise ValueError("max_experiments must be >= 1")

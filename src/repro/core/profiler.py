@@ -7,9 +7,12 @@ LD_PRELOADed runtime plus its dedicated profiler thread:
   (startup debug-info processing, per-thread perf_event setup, per-sample
   processing cost) so the Figure 9 overhead study is meaningful;
 * it runs performance experiments: pick a line (the first in-scope sampled
-  line, or a fixed line for focused studies), pick a random virtual speedup
-  (0% half the time), insert delays via the counter protocol for a fixed
-  duration, log progress-point deltas, cool off, repeat;
+  line, or a fixed line for focused/planner-directed studies), pick a
+  virtual speedup (0% half the time), insert delays via the counter
+  protocol for a fixed duration, log progress-point deltas, cool off,
+  repeat.  The line/speedup selection policy itself lives in
+  :class:`repro.plan.schedule.RunScheduler` — the profiler executes
+  whatever schedule its configuration (free or planner-directed) implies;
 * if an experiment sees fewer than ``min_visits`` progress visits, the
   experiment length doubles for the rest of the run (§2).
 
@@ -30,6 +33,7 @@ from repro.core.experiment import ExperimentResult
 from repro.core.profile_data import ProfileData, RunInfo
 from repro.core.progress import LatencySpec, ProgressPoint, ProgressTracker
 from repro.core.speedup import DelayEngine
+from repro.plan.schedule import RunScheduler
 from repro.sim.hooks import HookAction, ProfilerHook
 from repro.sim.sampler import Sample
 from repro.sim.source import SourceLine
@@ -100,6 +104,9 @@ class CausalProfiler(ProfilerHook):
             auditor=self.auditor,
         )
         self.rng = random.Random(self.cfg.seed)
+        # line/speedup selection policy (repro.plan.schedule); shares the
+        # profiler's RNG so free runs keep the historical draw order
+        self.scheduler = RunScheduler(self.cfg, self.rng)
         self.data = ProfileData()
         # hot-path bindings (see the before_block/before_wake_op trampolines)
         self.before_block = self.delays.reconcile
@@ -108,7 +115,6 @@ class CausalProfiler(ProfilerHook):
         self.engine = None
         self.state = _WAIT
         self.experiment_duration = self.cfg.experiment_duration_ns
-        self._schedule_idx = 0
         self._experiment_token = 0
         self._run_delay_ns = 0
 
@@ -211,35 +217,19 @@ class CausalProfiler(ProfilerHook):
             self._s_obs += hits
             pause = self.delays.on_hits(thread, hits)
         elif self.state == _WAIT:
-            if cfg.fixed_line is not None:
-                selected = cfg.fixed_line if in_scope or samples else None
-            else:
-                selected = self.rng.choice(in_scope) if in_scope else None
-            if selected is not None:
-                self._start_experiment(selected)
+            cap = self.cfg.max_experiments
+            if cap is None or len(self.data.experiments) < cap:
+                selected = self.scheduler.select_line(in_scope, bool(samples))
+                if selected is not None:
+                    self._start_experiment(selected)
         return HookAction(pause_ns=pause, cpu_ns=cost)
 
     # ------------------------------------------------------------------ experiments
 
-    def _choose_speedup(self) -> int:
-        cfg = self.cfg
-        if not cfg.enable_delays:
-            return 0  # the "sampling-only" overhead configuration (§4.4)
-        if cfg.speedup_schedule is not None:
-            pct = cfg.speedup_schedule[self._schedule_idx % len(cfg.speedup_schedule)]
-            self._schedule_idx += 1
-            return pct
-        if self.rng.random() < cfg.zero_speedup_prob:
-            return 0
-        nonzero = [s for s in cfg.speedup_values if s != 0]
-        if not nonzero:
-            return 0
-        return self.rng.choice(nonzero)
-
     def _start_experiment(self, line: SourceLine) -> None:
         engine = self.engine
         self._line = line
-        self._pct = self._choose_speedup()
+        self._pct = self.scheduler.choose_speedup()
         delay_ns = self._pct * engine.cfg.sample_period_ns // 100
         self._delay_ns = delay_ns
         self._start_ns = engine.now
@@ -327,7 +317,7 @@ class CausalProfiler(ProfilerHook):
             "line_samples": dict(self.line_samples),
             "state": self.state,
             "experiment_duration": self.experiment_duration,
-            "schedule_idx": self._schedule_idx,
+            "schedule_idx": self.scheduler.schedule_idx,
             "experiment_token": self._experiment_token,
             "run_delay_ns": self._run_delay_ns,
             "line": self._line,
@@ -357,7 +347,7 @@ class CausalProfiler(ProfilerHook):
         self.line_samples = Counter(state["line_samples"])
         self.state = state["state"]
         self.experiment_duration = state["experiment_duration"]
-        self._schedule_idx = state["schedule_idx"]
+        self.scheduler.schedule_idx = state["schedule_idx"]
         self._experiment_token = state["experiment_token"]
         self._run_delay_ns = state["run_delay_ns"]
         self._line = state["line"]

@@ -44,16 +44,44 @@ def render_failures(data: ProfileData) -> str:
     return buf.getvalue()
 
 
-def render_profile(profile: CausalProfile, top: Optional[int] = 10) -> str:
-    """The ranked-table view of a causal profile."""
+def render_profile(
+    profile: CausalProfile, top: Optional[int] = 10, plan=None
+) -> str:
+    """The ranked-table view of a causal profile.
+
+    With a :class:`~repro.plan.base.PlanReport` (``plan=``), two planner
+    columns are appended: experiments spent on the line and why its
+    measurement stopped (``schedule`` / ``converged`` / ``eliminated`` /
+    ``budget``).
+    """
     buf = io.StringIO()
     buf.write(f"Causal profile for progress point '{profile.point}'\n")
-    buf.write(f"{'rank':>4}  {'line':<28} {'slope':>8} {'max speedup':>12} {'kind':<11}\n")
+    buf.write(
+        f"{'rank':>4}  {'line':<28} {'slope':>8} {'max speedup':>12} {'kind':<11}"
+    )
+    if plan is not None:
+        buf.write(f" {'spent':>6} {'stopped':<10}")
+    buf.write("\n")
     for opp in summarize(profile, top=top):
         buf.write(
             f"{opp.rank:>4}  {str(opp.line):<28} {opp.slope:>+8.3f} "
-            f"{100 * opp.max_program_speedup:>+11.2f}% {opp.kind:<11}\n"
+            f"{100 * opp.max_program_speedup:>+11.2f}% {opp.kind:<11}"
         )
+        if plan is not None:
+            buf.write(f" {plan.spend(opp.line):>6} {plan.reason(opp.line):<10}")
+        buf.write("\n")
+    return buf.getvalue()
+
+
+def render_plan(plan) -> str:
+    """The planner's session narration (:class:`~repro.plan.base.PlanReport`)."""
+    buf = io.StringIO()
+    buf.write(
+        f"Planner '{plan.planner}': {plan.runs_planned} of {plan.budget} "
+        f"budgeted run(s) over {plan.rounds} round(s)\n"
+    )
+    for line in plan.decisions:
+        buf.write(f"  {line}\n")
     return buf.getvalue()
 
 

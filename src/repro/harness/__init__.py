@@ -20,6 +20,7 @@ from repro.harness.parallel import (
     execute_tasks,
     resolve_jobs,
 )
+from repro.harness.request import ExecutionConfig, ResilienceConfig
 from repro.harness.runner import (
     ProfileOutcome,
     ProfileRequest,
@@ -31,12 +32,14 @@ from repro.harness.runner import (
 
 __all__ = [
     "AUTO_JOBS",
+    "ExecutionConfig",
     "JournalError",
     "JournalRecord",
     "OverheadBreakdown",
     "ParallelExecutionWarning",
     "ProfileOutcome",
     "ProfileRequest",
+    "ResilienceConfig",
     "RetryPolicy",
     "RunOutput",
     "RunTask",

@@ -13,7 +13,7 @@ four throughput metrics per cell:
 * ``samples`` — total IP samples taken (a workload-size sanity check: the
   simulated work is deterministic, so this must not change run to run).
 
-The matrix covers three apps (example, ferret, sqlite) in five variants:
+The matrix covers three apps (example, ferret, sqlite) in seven variants:
 
 ``session``
     the public ``run_profile_session`` path, serial, default config —
@@ -39,7 +39,22 @@ The matrix covers three apps (example, ferret, sqlite) in five variants:
     checkpoint.wall_s`` records what snapshot/resume buys per app — and
     because the resumed sessions are bit-identical, the cell's
     deterministic metrics double as an identity check against the
-    ``session`` cell (mismatches warn).
+    ``session`` cell (mismatches warn);
+``planner``
+    the adaptive-planner acceptance cell: an untimed static baseline
+    session followed by a timed adaptive session (``--planner adaptive``)
+    with the same budget.  ``summary.planner_efficiency`` records, per
+    app, ``experiments_ratio`` (adaptive experiments / static
+    experiments — the acceptance bar is <= 0.6) and ``ci_ok`` (the
+    adaptive profile's replicated bootstrap SEs on static's top-ranked
+    line are no wider than static's, or than the convergence target where
+    static itself never replicated a point).  Singleton points are
+    excluded from the CI comparison — resampling one value yields a ~0
+    SE that says nothing about variance.  This cell runs more runs
+    (8 full / 3 quick) than the timing cells so the static baseline has
+    replicated measurements to compare against, and sqlite's cell runs
+    shorter experiments (``PLANNER_CELL_CFG``) so a run holds more than
+    ~3 of them.
 
 Wall-clock numbers are noisy on shared machines; the sim-side metrics
 (``virtual_ns``, ``events``, ``samples``) are bit-deterministic and double
@@ -63,7 +78,10 @@ from typing import Callable, Dict, List, Optional
 from repro.apps import registry
 from repro.core.config import CozConfig
 from repro.core.profiler import CausalProfiler
+from repro.harness.request import ExecutionConfig
 from repro.harness.runner import ProfileRequest, run_profile_session
+from repro.plan import PlanConfig
+from repro.sim.clock import MS
 
 SCHEMA = "bench-engine/v1"
 
@@ -78,7 +96,20 @@ VARIANTS = {
     "nojitter": ("program", {}, {"sample_phase_jitter": False}, {}),
     "legacy": ("program", {}, {"coalesce": False}, {}),
     "checkpoint": ("session", {}, {}, {"checkpoint": True}),
+    "planner": ("planner", {}, {}, {}),
 }
+
+#: planner-cell per-app profiler overrides: sqlite's default 50 ms
+#: experiments fit only ~3 experiments in a whole run, which no schedule —
+#: static or adaptive — can meaningfully allocate, so its cell runs
+#: shorter experiments (identical on both sides of the comparison)
+PLANNER_CELL_CFG: Dict[str, Dict] = {
+    "sqlite": {"experiment_duration_ns": MS(10), "cooloff_ns": MS(2)},
+}
+
+#: per-point bootstrap-SE convergence target the planner cell's adaptive
+#: session stops at (see ``summary.planner_efficiency``)
+PLANNER_SE_TARGET = 0.04
 
 
 @dataclass
@@ -110,10 +141,11 @@ class CellResult:
     virtual_ns: int = 0                # summed over the cell's runs
     events: int = 0
     samples: int = 0
+    extra: Optional[Dict] = None       # variant-specific metrics (planner cell)
 
     def to_json(self) -> Dict:
         wall = self.wall_s
-        return {
+        doc = {
             "name": self.name,
             "app": self.app,
             "variant": self.variant,
@@ -129,17 +161,31 @@ class CellResult:
             "events_per_sec": round(self.events / wall) if wall else None,
             "virtual_ns_per_wall_s": round(self.virtual_ns / wall) if wall else None,
         }
+        if self.extra:
+            doc["extra"] = self.extra
+        return doc
 
 
 def default_matrix(quick: bool = False, apps: Optional[List[str]] = None) -> List[BenchCell]:
-    """The fixed cell matrix (shrunk runs/repeats under ``--quick``)."""
+    """The fixed cell matrix (shrunk runs/repeats under ``--quick``).
+
+    The planner cell gets more runs than the timing cells (and a single
+    repeat — its sessions are deterministic, so repeats only re-time
+    identical work): the efficiency comparison needs a static baseline
+    long enough to replicate its measurements.
+    """
     runs = 2 if quick else 5
     repeats = 1 if quick else 3
-    return [
-        BenchCell(app=app, variant=variant, runs=runs, repeats=repeats)
-        for app in (apps or MATRIX_APPS)
-        for variant in VARIANTS
-    ]
+    cells = []
+    for app in apps or MATRIX_APPS:
+        for variant in VARIANTS:
+            if variant == "planner":
+                cells.append(
+                    BenchCell(app=app, variant=variant, runs=3 if quick else 8, repeats=1)
+                )
+            else:
+                cells.append(BenchCell(app=app, variant=variant, runs=runs, repeats=repeats))
+    return cells
 
 
 def _run_session_cell(cell: BenchCell, coz_over: Dict, checkpoint: bool = False) -> Dict:
@@ -150,13 +196,91 @@ def _run_session_cell(cell: BenchCell, coz_over: Dict, checkpoint: bool = False)
     cfg = replace(CozConfig(scope=spec.scope), **coz_over) if coz_over else None
     out = run_profile_session(
         spec,
-        ProfileRequest(runs=cell.runs, jobs=1, coz_config=cfg, checkpoint=checkpoint),
+        ProfileRequest(
+            runs=cell.runs,
+            coz_config=cfg,
+            execution=ExecutionConfig(jobs=1, checkpoint=checkpoint),
+        ),
     )
+    return _session_metrics(out)
+
+
+def _session_metrics(out) -> Dict:
     return {
         "virtual_ns": sum(r.runtime_ns for r in out.run_results),
         "events": sum(r.events_processed for r in out.run_results),
         "samples": sum(r.sample_count for r in out.run_results),
     }
+
+
+def _planner_request(cell: BenchCell, spec, adaptive: bool) -> ProfileRequest:
+    # both sides of the comparison share the app config and run cold; only
+    # the plan differs, so any experiment-count delta is the planner's
+    over = PLANNER_CELL_CFG.get(cell.app)
+    cfg = replace(CozConfig(scope=spec.scope), **over) if over else None
+    plan = None
+    if adaptive:
+        plan = PlanConfig(
+            planner="adaptive",
+            budget=cell.runs,
+            se_target=PLANNER_SE_TARGET,
+            explore_runs=1,
+        )
+    return ProfileRequest(
+        runs=cell.runs,
+        coz_config=cfg,
+        execution=ExecutionConfig(jobs=1, checkpoint=False),
+        plan=plan,
+    )
+
+
+def _replicated_se(profile, line) -> Optional[float]:
+    # singleton bootstrap SEs understate variance (resampling one value
+    # yields ~0), so CI-width comparisons only trust replicated points
+    lp = profile.get(line)
+    if lp is None:
+        return None
+    ses = [p.se for p in lp.points if p.speedup_pct > 0 and p.n_experiments >= 2]
+    return max(ses) if ses else None
+
+
+def _planner_extra(static_out, adaptive_out) -> Dict:
+    """The planner cell's acceptance metrics (see ``planner_efficiency``)."""
+    s_exp = len(static_out.data.experiments)
+    a_exp = len(adaptive_out.data.experiments)
+    report = adaptive_out.plan
+    base = {
+        "se_target": PLANNER_SE_TARGET,
+        "experiments_static": s_exp,
+        "experiments_adaptive": a_exp,
+        "experiments_ratio": round(a_exp / s_exp, 3) if s_exp else None,
+        "rounds": report.rounds if report else None,
+        "runs_planned": report.runs_planned if report else None,
+    }
+    if not static_out.profile.lines:
+        # a --quick cell can be too short for static to profile anything;
+        # there is no CI comparison to make, only the ratio above
+        return dict(base, top_line=None, ci_ok=None)
+    # compare CI widths on static's sample-hottest profiled line: slope
+    # rank #1 flips with noise on an evenly-spread static schedule, but
+    # the hottest line is determined by the app alone — and it is the
+    # line an optimizer would actually chase
+    top = max(
+        (lp.line for lp in static_out.profile.lines),
+        key=lambda ln: (static_out.data.total_line_samples(ln), ln),
+    )
+    s_se = _replicated_se(static_out.profile, top)
+    a_se = _replicated_se(adaptive_out.profile, top)
+    # adaptive must match static's replicated CI width on that line (or
+    # the convergence target where static itself never replicated)
+    bound = max(s_se if s_se is not None else PLANNER_SE_TARGET, PLANNER_SE_TARGET)
+    return dict(
+        base,
+        top_line=str(top),
+        static_top_rep_se=round(s_se, 4) if s_se is not None else None,
+        adaptive_top_rep_se=round(a_se, 4) if a_se is not None else None,
+        ci_ok=a_se is not None and a_se <= bound,
+    )
 
 
 def _run_program_cell(cell: BenchCell, coz_over: Dict, sim_over: Dict) -> Dict:
@@ -188,12 +312,24 @@ def run_cell(cell: BenchCell) -> CellResult:
 
         clear_memory_cache()
         _run_session_cell(cell, coz_over, checkpoint=True)
+    extra: Optional[Dict] = None
+    static_out = None
+    if mode == "planner":
+        # the static baseline is deterministic and not what this cell
+        # times, so it runs once, untimed, like the checkpoint populate
+        spec = registry.build(cell.app)
+        static_out = run_profile_session(spec, _planner_request(cell, spec, adaptive=False))
     walls: List[float] = []
     metrics: Dict = {}
     for _ in range(cell.repeats):
         t0 = time.perf_counter()
         if mode == "session":
             metrics = _run_session_cell(cell, coz_over, checkpoint=checkpoint)
+        elif mode == "planner":
+            spec = registry.build(cell.app)
+            out = run_profile_session(spec, _planner_request(cell, spec, adaptive=True))
+            metrics = _session_metrics(out)
+            extra = _planner_extra(static_out, out)
         else:
             metrics = _run_program_cell(cell, coz_over, sim_over)
         walls.append(time.perf_counter() - t0)
@@ -206,6 +342,7 @@ def run_cell(cell: BenchCell) -> CellResult:
         repeats=cell.repeats,
         wall_s=min(walls),
         wall_s_all=walls,
+        extra=extra,
         **metrics,
     )
 
@@ -225,7 +362,15 @@ def run_bench(
     by_name = {c.name: c for c in cells}
     speedup_vs_legacy = {}
     checkpoint_speedup = {}
+    planner_efficiency = {}
     for app in dict.fromkeys(c.app for c in cells):
+        planner = by_name.get(f"{app}/planner")
+        if planner and planner.extra:
+            planner_efficiency[app] = {
+                k: planner.extra[k]
+                for k in ("experiments_ratio", "ci_ok", "top_line")
+                if k in planner.extra
+            }
         base = by_name.get(f"{app}/program")
         legacy = by_name.get(f"{app}/legacy")
         if base and legacy and base.wall_s:
@@ -259,6 +404,7 @@ def run_bench(
         "summary": {
             "speedup_vs_legacy": speedup_vs_legacy,
             "checkpoint_speedup": checkpoint_speedup,
+            "planner_efficiency": planner_efficiency,
             "ferret_session_wall_s": (
                 round(by_name["ferret/session"].wall_s, 4)
                 if "ferret/session" in by_name

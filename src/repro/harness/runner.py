@@ -1,12 +1,21 @@
-"""Profiling runner: run an app under the causal profiler, merge profiles.
+"""Profiling runner: execute an experiment plan, merge profiles.
 
 Coz accumulates profile data across program executions; dense causal
 profiles come from many short runs.  :class:`ProfileRequest` describes one
 such multi-run session (how many runs, seeding, profiler configuration,
-parallelism, fault injection, journaling) and :func:`run_profile_session`
-executes it, fanning runs out over the process-parallel executor when
-``jobs != 1``.  Per-run seeds are ``base_seed + i`` on both paths and
-results merge in run order, so a parallel session produces a merged
+parallelism, fault injection, journaling, planning) and
+:func:`run_profile_session` executes it as a **propose → execute →
+observe loop**: the request's :class:`~repro.plan.base.Planner` proposes
+batches of :class:`~repro.plan.base.ExperimentPlan`\\ s, the runner
+executes each batch (fanning out over the process-parallel executor when
+``jobs != 1``), and the merged :class:`~repro.core.experiment.
+ExperimentResult`\\ s feed back to the planner before it proposes the next
+batch.  The default :class:`~repro.plan.StaticPlanner` proposes every run
+free in a single batch, which is byte-identical to the historical
+schedule; the adaptive planner interleaves analysis between batches.
+
+Per-run seeds are ``base_seed + index`` on both paths and results merge in
+schedule order, so a parallel session produces a merged
 :class:`ProfileData` bit-identical to the serial one.
 
 Resilience: a run that fails deterministically (deadlock, injected fault)
@@ -14,9 +23,11 @@ becomes a :class:`~repro.core.profile_data.RunFailure` record and the
 session completes *degraded* rather than dying.  With ``journal=`` set,
 every completed run is fsync'd to a crash-safe JSONL journal
 (:mod:`repro.harness.journal`); ``resume=`` replays a previous journal's
-completed runs and executes only the remaining schedule — because run
-``i`` is always seeded ``base_seed + i``, the resumed session's merged
-data is bit-identical to an uninterrupted one.
+completed runs and executes only the remaining schedule.  Planner
+decisions are a pure function of observed data, so a resumed session —
+adaptive included — re-derives the identical plan sequence from the
+replayed runs; the planner configuration is fingerprinted so a journal
+cannot be resumed under a different planner.
 
 :func:`profile_app` and :func:`profile_program` remain as thin
 keyword-style wrappers.
@@ -37,60 +48,29 @@ from repro.harness.journal import (
     SessionJournal,
     canonical,
 )
-from repro.harness.parallel import RetryPolicy, RunOutput, RunTask, execute_tasks
+from repro.harness.parallel import RunOutput, RunTask, execute_tasks
+from repro.harness.request import (
+    ExecutionConfig,
+    ProfileRequest,
+    ResilienceConfig,
+)
+from repro.plan import PlanConfig, make_planner
+from repro.plan.base import ExperimentPlan, PlannerState, PlanReport
 from repro.sim.faults import FaultPlan
 from repro.sim.program import RunResult
 
-
-@dataclass
-class ProfileRequest:
-    """Everything tunable about one multi-run profiling session.
-
-    The single keyword surface shared by :func:`profile_app`,
-    :func:`profile_program`, and the CLI; construct once, reuse across
-    apps.
-    """
-
-    #: number of profiling runs to merge
-    runs: int = 5
-    #: run ``i`` is seeded ``base_seed + i`` (serial and parallel alike)
-    base_seed: int = 0
-    #: profiler configuration; ``None`` = defaults (scope filled from spec)
-    coz_config: Optional[CozConfig] = None
-    #: discard lines measured at fewer distinct speedups than this
-    min_speedup_amounts: int = 2
-    #: worker processes: 1 = serial, 0/None = auto (cpu-count-aware)
-    jobs: int = 1
-    #: per-run timeout in seconds when running in worker processes
-    #: (``None`` = the executor's watchdog deadline)
-    timeout: Optional[float] = None
-    #: attach the invariant audit (:mod:`repro.core.audit`) to every run and
-    #: merge the per-run reports into :attr:`ProfileOutcome.audit`
-    audit: bool = False
-    #: fault-injection plan (:class:`~repro.sim.faults.FaultPlan`); part of
-    #: the session fingerprint, so a resumed chaos session re-injects the
-    #: same faults
-    faults: Optional[FaultPlan] = None
-    #: retry/backoff/circuit-breaker policy for worker failures
-    retry: Optional[RetryPolicy] = None
-    #: path to write a crash-safe session journal to (fsync'd per run)
-    journal: Optional[str] = None
-    #: path of a journal to resume from; replays its completed runs and
-    #: continues appending to the same file
-    resume: Optional[str] = None
-    #: testing hook: execute at most this many (non-replayed) runs, then
-    #: return the partial session — simulates dying mid-session without a
-    #: SIGKILL, for checkpoint/resume tests
-    stop_after_runs: Optional[int] = None
-    #: checkpoint fast-forward (:mod:`repro.harness.checkpoint`): resume
-    #: runs from stored prefix snapshots when bit-identical ones exist and
-    #: record snapshots when they don't.  Execution-only (results are
-    #: bit-identical either way), so excluded from the session fingerprint.
-    #: Ignored for unregistered specs and audited sessions.
-    checkpoint: bool = True
-    #: optional on-disk checkpoint cache shared across processes/sessions;
-    #: ``None`` = in-memory only
-    checkpoint_dir: Optional[str] = None
+__all__ = [
+    "ExecutionConfig",
+    "ProfileOutcome",
+    "ProfileRequest",
+    "ResilienceConfig",
+    "journal_hook",
+    "output_wire_parts",
+    "profile_app",
+    "profile_program",
+    "run_profile_session",
+    "session_fingerprint",
+]
 
 
 @dataclass
@@ -102,6 +82,9 @@ class ProfileOutcome:
     run_results: List[RunResult] = field(default_factory=list)
     #: merged invariant-audit report (``None`` unless the request audited)
     audit: Optional[object] = None
+    #: how the planner spent the session (always present; the static
+    #: planner reports one round of uniform spend)
+    plan: Optional[PlanReport] = None
 
     @property
     def experiment_count(self) -> int:
@@ -118,11 +101,13 @@ def session_fingerprint(
 ) -> dict:
     """Everything that determines a session's results, canonicalized.
 
-    Execution-only knobs (``jobs``, ``timeout``, retry policy, the
-    observational ``audit`` flag) are excluded: a session may be resumed
-    with a different worker count and still merge bit-identically.  The
-    per-run seed overrides the config's ``seed`` field, so that is
-    normalized out too.
+    Execution-only knobs (``jobs``, ``timeout``, retry policy, checkpoint
+    fast-forward, the observational ``audit`` flag) are excluded: a session
+    may be resumed with a different worker count and still merge
+    bit-identically.  The per-run seed overrides the config's ``seed``
+    field, so that is normalized out too.  The plan configuration *is*
+    included — replaying a journal under a different planner would feed a
+    different decision process.
     """
     app = canonical(spec.registry_ref) if spec.registry_ref is not None else spec.name
     return {
@@ -133,6 +118,7 @@ def session_fingerprint(
         "min_speedup_amounts": request.min_speedup_amounts,
         "coz_config": canonical(replace(coz_config, seed=0, audit=False)),
         "faults": canonical(request.faults),
+        "plan": canonical(request.plan),
     }
 
 
@@ -182,14 +168,16 @@ def run_profile_session(
     spec: AppSpec,
     request: Optional[ProfileRequest] = None,
 ) -> ProfileOutcome:
-    """Profile an app spec per ``request`` and merge the runs in order.
+    """Profile an app spec per ``request``: the propose → execute →
+    observe loop.
 
-    With ``request.jobs != 1`` runs execute in worker processes; specs
-    built by :func:`repro.apps.registry.build` are rebuilt worker-side from
-    their :class:`~repro.apps.registry.AppRef`, while unregistered specs
-    (whose ``build`` closures cannot be pickled) fall back to serial with a
-    warning.  Deterministically failed runs are recorded in
-    ``outcome.data.failures`` and the session completes degraded.
+    With ``request.jobs != 1`` each batch executes in worker processes;
+    specs built by :func:`repro.apps.registry.build` are rebuilt
+    worker-side from their :class:`~repro.apps.registry.AppRef`, while
+    unregistered specs (whose ``build`` closures cannot be pickled) fall
+    back to serial with a warning.  Deterministically failed runs are
+    recorded in ``outcome.data.failures`` and the session completes
+    degraded.
     """
     request = request or ProfileRequest()
     coz_config = request.coz_config or CozConfig()
@@ -218,79 +206,113 @@ def run_profile_session(
         key = checkpoint_fingerprint(spec, coz_config, request.faults)
         store = CheckpointStore(key, directory=request.checkpoint_dir)
 
-    tasks = [
-        RunTask(
-            index=i,
-            seed=request.base_seed + i,
-            coz_config=coz_config,
+    def make_task(plan: ExperimentPlan) -> RunTask:
+        # Directed runs carry a one-off config (fixed line + probe
+        # schedule) whose checkpoint fingerprint no later run would ever
+        # hit, so they always simulate cold; free runs share the session
+        # store exactly as before.
+        seed = request.base_seed + plan.index
+        use_store = store is not None and not plan.is_directed
+        return RunTask(
+            index=plan.index,
+            seed=seed,
+            coz_config=plan.apply(coz_config),
             app_ref=spec.registry_ref,
             program_factory=None if spec.registry_ref is not None else spec.build,
             progress_points=tuple(spec.progress_points),
             latency_specs=tuple(spec.latency_specs),
             faults=request.faults,
-            checkpoint=store is not None,
-            checkpoint_key=store.key if store is not None else None,
-            checkpoint_dir=store.directory if store is not None else None,
+            checkpoint=use_store,
+            checkpoint_key=store.key if use_store else None,
+            checkpoint_dir=store.directory if use_store else None,
             # ship the prefix snapshot with the task: workers resume warm
             # without a store round-trip, and the transfer happens once
-            snapshot=store.get(request.base_seed + i) if store is not None else None,
+            snapshot=store.get(seed) if use_store else None,
         )
-        for i in range(request.runs)
-    ]
 
     journal: Optional[SessionJournal] = None
-    outputs: Dict[int, RunOutput] = {}
+    replayed: Dict[int, RunOutput] = {}
     if request.resume is not None:
         fingerprint = session_fingerprint(spec, request, coz_config)
         journal = SessionJournal.resume(request.resume, fingerprint)
         for idx, rec in journal.completed(DEFAULT_SEGMENT).items():
-            if idx < request.runs:
-                outputs[idx] = _output_from_record(rec)
+            replayed[idx] = _output_from_record(rec)
     elif request.journal is not None:
         fingerprint = session_fingerprint(spec, request, coz_config)
         journal = SessionJournal.create(request.journal, fingerprint)
 
-    remaining = [t for t in tasks if t.index not in outputs]
-    if request.stop_after_runs is not None:
-        remaining = remaining[: request.stop_after_runs]
+    planner = make_planner(request.plan, default_runs=request.runs)
+    on_output = journal_hook(journal)
+    data = ProfileData()
+    run_results: List[RunResult] = []
+    outputs: Dict[int, RunOutput] = {}
+    merged = 0
+    #: non-replayed runs the session may still execute (None = unlimited)
+    fresh_budget = request.stop_after_runs
+    stopped = False
 
     try:
-        executed = execute_tasks(
-            remaining,
-            jobs=request.jobs,
-            timeout=request.timeout,
-            audit_report=audit_report if request.jobs != 1 else None,
-            retry=request.retry,
-            on_output=journal_hook(journal),
-        )
+        while not stopped and not planner.done():
+            state = PlannerState(
+                data=data,
+                primary_progress=spec.primary_progress,
+                coz_config=coz_config,
+                min_speedup_amounts=request.min_speedup_amounts,
+                runs_completed=merged,
+            )
+            plans = planner.propose(state)
+            if not plans:
+                break
+            batch = [make_task(p) for p in plans]
+            fresh = [t for t in batch if t.index not in replayed]
+            if fresh_budget is not None:
+                fresh = fresh[:fresh_budget]
+                fresh_budget -= len(fresh)
+            executed = execute_tasks(
+                fresh,
+                jobs=request.jobs,
+                timeout=request.timeout,
+                audit_report=audit_report if request.jobs != 1 else None,
+                retry=request.retry,
+                on_output=on_output,
+            )
+            for out in executed:
+                outputs[out.index] = out
+
+            batch_results = []
+            for plan in plans:
+                out = outputs.get(plan.index) or replayed.get(plan.index)
+                if out is None:
+                    # stop_after_runs exhausted mid-batch: return the
+                    # partial session (the journal has what completed)
+                    stopped = True
+                    continue
+                merged += 1
+                if out.failed:
+                    data.add_failure(out.run_failure())
+                    continue
+                run_data = out.profile_data()
+                batch_results.extend(run_data.experiments)
+                data.merge(run_data)
+                result = out.run_result()
+                if result is not None:
+                    run_results.append(result)
+                if audit_report is not None:
+                    per_run = out.audit_report()
+                    if per_run is not None:
+                        audit_report.merge(per_run)
+            planner.observe(batch_results)
+            if fresh_budget is not None and fresh_budget <= 0:
+                stopped = True
     finally:
         if journal is not None:
             journal.close()
-    for out in executed:
-        outputs[out.index] = out
 
-    data = ProfileData()
-    run_results = []
-    for i in range(request.runs):
-        out = outputs.get(i)
-        if out is None:
-            continue  # stopped-early partial session (stop_after_runs)
-        if out.failed:
-            data.add_failure(out.run_failure())
-            continue
-        data.merge(out.profile_data())
-        result = out.run_result()
-        if result is not None:
-            run_results.append(result)
-        if audit_report is not None:
-            per_run = out.audit_report()
-            if per_run is not None:
-                audit_report.merge(per_run)
     if audit_report is not None:
         from repro.core.audit import audit_profile_data, run_accounting_check
 
         audit_report.merge(audit_profile_data(data))
-        audit_report.add(run_accounting_check(len(outputs), data))
+        audit_report.add(run_accounting_check(merged, data))
     profile = build_causal_profile(
         data,
         spec.primary_progress,
@@ -298,7 +320,11 @@ def run_profile_session(
         phase_correction=coz_config.phase_correction,
     )
     return ProfileOutcome(
-        data=data, profile=profile, run_results=run_results, audit=audit_report
+        data=data,
+        profile=profile,
+        run_results=run_results,
+        audit=audit_report,
+        plan=planner.report(),
     )
 
 
@@ -315,6 +341,7 @@ def profile_program(
     timeout: Optional[float] = None,
     audit: bool = False,
     faults: Optional[FaultPlan] = None,
+    plan: Optional[PlanConfig] = None,
 ) -> ProfileOutcome:
     """Profile ``runs`` fresh programs from ``program_factory(seed)``.
 
@@ -334,10 +361,10 @@ def profile_program(
         base_seed=base_seed,
         coz_config=coz_config,
         min_speedup_amounts=min_speedup_amounts,
-        jobs=jobs,
-        timeout=timeout,
         audit=audit,
-        faults=faults,
+        execution=ExecutionConfig(jobs=jobs, timeout=timeout),
+        resilience=ResilienceConfig(faults=faults),
+        plan=plan,
     )
     return run_profile_session(spec, request)
 
@@ -354,6 +381,7 @@ def profile_app(
     faults: Optional[FaultPlan] = None,
     journal: Optional[str] = None,
     resume: Optional[str] = None,
+    plan: Optional[PlanConfig] = None,
 ) -> ProfileOutcome:
     """Profile an app spec with its own scope and progress points."""
     request = ProfileRequest(
@@ -361,11 +389,9 @@ def profile_app(
         base_seed=base_seed,
         coz_config=coz_config,
         min_speedup_amounts=min_speedup_amounts,
-        jobs=jobs,
-        timeout=timeout,
         audit=audit,
-        faults=faults,
-        journal=journal,
-        resume=resume,
+        execution=ExecutionConfig(jobs=jobs, timeout=timeout),
+        resilience=ResilienceConfig(faults=faults, journal=journal, resume=resume),
+        plan=plan,
     )
     return run_profile_session(spec, request)

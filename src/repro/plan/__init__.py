@@ -1,0 +1,55 @@
+"""Pluggable experiment planning for profiling sessions.
+
+See :mod:`repro.plan.base` for the protocol.  The session runner
+(:func:`repro.harness.runner.run_profile_session`) resolves a
+:class:`PlanConfig` into a concrete planner via :func:`make_planner`;
+the CLI exposes the same choice as ``--planner static|adaptive`` and
+``--budget N``.
+"""
+
+from repro.plan.adaptive import AdaptivePlanner
+from repro.plan.base import (
+    ExperimentPlan,
+    PlanConfig,
+    Planner,
+    PlannerState,
+    PlanReport,
+)
+from repro.plan.schedule import RunScheduler
+from repro.plan.static import StaticPlanner
+
+#: the planner names PlanConfig accepts
+PLANNERS = ("static", "adaptive")
+
+__all__ = [
+    "PLANNERS",
+    "AdaptivePlanner",
+    "ExperimentPlan",
+    "PlanConfig",
+    "Planner",
+    "PlannerState",
+    "PlanReport",
+    "RunScheduler",
+    "StaticPlanner",
+    "make_planner",
+]
+
+
+def make_planner(plan: "PlanConfig", default_runs: int) -> "Planner":
+    """Resolve a :class:`PlanConfig` into a concrete planner.
+
+    ``plan.budget`` of ``None`` means "the request's ``runs``" — so the
+    default static session schedules exactly the historical run count.
+    """
+    plan = plan or PlanConfig()
+    plan.validate()
+    budget = plan.budget if plan.budget is not None else default_runs
+    if plan.planner == "static":
+        return StaticPlanner(runs=budget)
+    if plan.planner == "adaptive":
+        return AdaptivePlanner(
+            budget=budget,
+            explore_runs=plan.explore_runs,
+            se_target=plan.se_target,
+        )
+    raise ValueError(f"unknown planner {plan.planner!r} (choose from {PLANNERS})")

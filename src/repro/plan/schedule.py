@@ -1,0 +1,68 @@
+"""In-run selection policy: which line, which speedup, for each experiment.
+
+This is the selection logic that used to live inline in
+:class:`~repro.core.profiler.CausalProfiler` (``_choose_speedup`` and the
+WAIT-state line pick).  Extracting it makes the profiler a plan *executor*:
+a :class:`~repro.plan.base.Planner` directs a run by handing the profiler a
+``CozConfig`` with ``fixed_line`` / ``speedup_schedule`` set, and the
+scheduler turns that configuration into per-experiment choices.
+
+Bit-identity contract: the scheduler consumes the profiler's RNG in exactly
+the order the inlined code did (speedup draw only on experiment start, line
+draw only on WAIT-state samples), so free runs under the default
+:class:`~repro.plan.StaticPlanner` reproduce the historical golden traces
+byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.sim.source import SourceLine
+
+
+class RunScheduler:
+    """Per-run experiment selection for one profiler instance.
+
+    Shares the profiler's RNG (one seeded stream per run drives both line
+    and speedup selection, as before).  ``schedule_idx`` is the cursor into
+    a deterministic ``speedup_schedule`` and is part of the profiler's
+    checkpoint snapshot (key ``"schedule_idx"``).
+    """
+
+    def __init__(self, cfg, rng: random.Random) -> None:
+        self.cfg = cfg
+        self.rng = rng
+        self.schedule_idx = 0
+
+    def select_line(
+        self, in_scope: List[SourceLine], has_samples: bool
+    ) -> Optional[SourceLine]:
+        """Pick the next experiment's line from a WAIT-state sample batch.
+
+        A directed run (``fixed_line``) starts as soon as any samples
+        arrive; a free run picks uniformly among the batch's in-scope
+        attributed lines (hotter lines appear more often, so this is
+        sampling-frequency-weighted selection, §3.2).
+        """
+        cfg = self.cfg
+        if cfg.fixed_line is not None:
+            return cfg.fixed_line if in_scope or has_samples else None
+        return self.rng.choice(in_scope) if in_scope else None
+
+    def choose_speedup(self) -> int:
+        """Pick the next experiment's virtual speedup percentage."""
+        cfg = self.cfg
+        if not cfg.enable_delays:
+            return 0  # the "sampling-only" overhead configuration (§4.4)
+        if cfg.speedup_schedule is not None:
+            pct = cfg.speedup_schedule[self.schedule_idx % len(cfg.speedup_schedule)]
+            self.schedule_idx += 1
+            return pct
+        if self.rng.random() < cfg.zero_speedup_prob:
+            return 0
+        nonzero = [s for s in cfg.speedup_values if s != 0]
+        if not nonzero:
+            return 0
+        return self.rng.choice(nonzero)

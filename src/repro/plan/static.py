@@ -1,0 +1,61 @@
+"""The static planner: today's uniform round-robin, as a Planner.
+
+One batch of ``runs`` free runs, indices ``0..runs-1`` — exactly the task
+list :func:`~repro.harness.runner.run_profile_session` used to build
+inline.  Because the batch is proposed whole and every plan is free, the
+executed session (serial or parallel, journaled or resumed, checkpointed
+or cold) is byte-identical to the pre-planner code path; the golden-trace
+suite and ``repro doctor`` hold this to account.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, List, Sequence
+
+from repro.plan.base import (
+    REASON_SCHEDULE,
+    ExperimentPlan,
+    Planner,
+    PlannerState,
+    PlanReport,
+)
+
+
+class StaticPlanner(Planner):
+    """Uniform schedule: every run free, all runs in one batch."""
+
+    name = "static"
+
+    def __init__(self, runs: int) -> None:
+        if runs < 1:
+            raise ValueError("a session needs at least one run")
+        self.runs = runs
+        self._proposed = False
+        self._spend: Counter = Counter()
+
+    def propose(self, state: PlannerState) -> List[ExperimentPlan]:
+        if self._proposed:
+            return []
+        self._proposed = True
+        return [
+            ExperimentPlan(index=i, note=REASON_SCHEDULE) for i in range(self.runs)
+        ]
+
+    def observe(self, results: Sequence[Any]) -> None:
+        for r in results:
+            self._spend[r.line] += 1
+
+    def done(self) -> bool:
+        return self._proposed
+
+    def report(self) -> PlanReport:
+        return PlanReport(
+            planner=self.name,
+            budget=self.runs,
+            rounds=1,
+            runs_planned=self.runs if self._proposed else 0,
+            line_spend=dict(self._spend),
+            line_reason={line: REASON_SCHEDULE for line in self._spend},
+            decisions=[f"static round-robin: {self.runs} free run(s)"],
+        )

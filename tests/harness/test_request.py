@@ -1,0 +1,76 @@
+"""Grouped ProfileRequest sub-configs and their legacy flat-kwarg shims."""
+
+import warnings
+
+import pytest
+
+from repro.apps import registry
+from repro.core.config import CozConfig
+from repro.harness import (
+    ExecutionConfig,
+    ProfileRequest,
+    ResilienceConfig,
+    session_fingerprint,
+)
+from repro.plan import PlanConfig
+from repro.sim.faults import FaultPlan
+
+
+def _fingerprint(request):
+    spec = registry.build("example")
+    return session_fingerprint(
+        spec, request, request.coz_config or CozConfig(scope=spec.scope)
+    )
+
+
+def test_grouped_construction_is_silent():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        request = ProfileRequest(
+            runs=4,
+            execution=ExecutionConfig(jobs=2, timeout=9.0),
+            resilience=ResilienceConfig(stop_after_runs=1),
+            plan=PlanConfig(planner="adaptive", budget=3),
+        )
+    assert request.jobs == 2
+    assert request.timeout == 9.0
+    assert request.stop_after_runs == 1
+    assert request.planner == "adaptive"
+    assert request.budget == 3
+
+
+def test_flat_kwargs_warn_and_fold_into_groups():
+    plan = FaultPlan(seed=1)
+    with pytest.warns(DeprecationWarning, match="flat ProfileRequest kwargs"):
+        legacy = ProfileRequest(runs=4, jobs=2, timeout=9.0, faults=plan)
+    grouped = ProfileRequest(
+        runs=4,
+        execution=ExecutionConfig(jobs=2, timeout=9.0),
+        resilience=ResilienceConfig(faults=plan),
+    )
+    assert legacy == grouped
+    assert legacy.execution == grouped.execution
+    assert legacy.resilience == grouped.resilience
+
+
+def test_flat_kwarg_conflicts_with_its_group():
+    with pytest.raises(ValueError, match="jobs= conflicts with execution="):
+        ProfileRequest(jobs=2, execution=ExecutionConfig(jobs=4))
+
+
+def test_unknown_kwargs_still_raise():
+    with pytest.raises(TypeError, match="unexpected keyword"):
+        ProfileRequest(workers=3)
+
+
+def test_fingerprint_ignores_execution_but_not_plan():
+    base = _fingerprint(ProfileRequest(runs=3))
+    assert _fingerprint(
+        ProfileRequest(runs=3, execution=ExecutionConfig(jobs=8, checkpoint=False))
+    ) == base
+    assert _fingerprint(
+        ProfileRequest(runs=3, plan=PlanConfig(planner="adaptive"))
+    ) != base
+    assert _fingerprint(
+        ProfileRequest(runs=3, plan=PlanConfig(budget=2))
+    ) != base

@@ -40,6 +40,7 @@ from repro.apps.example import build_example
 from repro.apps.streamcluster import build_streamcluster
 from repro.core.config import CozConfig
 from repro.core.profiler import CausalProfiler
+from repro.harness.request import ExecutionConfig
 from repro.harness.runner import ProfileRequest, run_profile_session
 from repro.sim.clock import MS
 from repro.sim.trace import TraceHasher
@@ -63,7 +64,10 @@ def _session_cell(spec_args, runs=2, jobs=1):
             # session cells run through app-built SimConfigs; skip forcing
             # legacy mode here (program-level cells cover both modes)
             pass
-        out = run_profile_session(spec, ProfileRequest(runs=runs, jobs=jobs))
+        out = run_profile_session(
+            spec,
+            ProfileRequest(runs=runs, execution=ExecutionConfig(jobs=jobs)),
+        )
         return _sha(out.data.to_json())
 
     return run
