@@ -5,12 +5,26 @@
 :mod:`repro.baselines.perf` reproduces a ``perf``-style sampling profiler's
 flat profile by line and function (Figure 7b).
 
-Both are passive :class:`~repro.sim.hooks.Observer` implementations: they
+:mod:`repro.baselines.gapp` adds a post-paper contender: a GAPP-style
+blocked-time criticality profiler (Nair & Field 2020) built on the engine's
+passive block/unblock observer surface.
+
+All are passive :class:`~repro.sim.hooks.Observer` implementations: they
 watch the same execution the causal profiler would, and demonstrate the
 paper's core claim — "where the time goes" is not "what to optimize".
+:mod:`repro.harness.differential` runs all of them plus the causal profiler
+on one app and reports where the rankings disagree.
 """
 
+from repro.baselines.gapp import GappObserver, GappProfile
 from repro.baselines.gprof import GprofObserver, GprofProfile
 from repro.baselines.perf import PerfObserver, PerfProfile
 
-__all__ = ["GprofObserver", "GprofProfile", "PerfObserver", "PerfProfile"]
+__all__ = [
+    "GappObserver",
+    "GappProfile",
+    "GprofObserver",
+    "GprofProfile",
+    "PerfObserver",
+    "PerfProfile",
+]

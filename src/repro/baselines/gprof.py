@@ -53,11 +53,17 @@ class GprofProfile:
         self.total_ns = total_ns
 
     def flat(self) -> List[FlatEntry]:
-        """Flat profile rows, sorted by self time like gprof."""
+        """Flat profile rows, sorted by self time like gprof.
+
+        Ties break on the function name, not on counter insertion order —
+        insertion order is an execution-history artifact that would make
+        rankings differ between otherwise identical runs (and poison rank
+        comparisons in the differential report).
+        """
         entries = []
         cumulative = 0.0
         total = max(1, self.total_ns)
-        for func, ns in sorted(self.self_ns.items(), key=lambda kv: -kv[1]):
+        for func, ns in sorted(self.self_ns.items(), key=lambda kv: (-kv[1], kv[0])):
             cumulative += ns / NS_PER_SEC
             entries.append(
                 FlatEntry(
@@ -116,9 +122,20 @@ class GprofObserver(Observer):
         self._edges: Counter = Counter()
         self._total_ns = 0
 
+    # Top-level code (an empty func/caller string) is interned as "<main>"
+    # *here*, at the observer boundary, so every counter agrees on the key.
+    # Normalizing only in on_work — as an earlier version did — left the
+    # "<main>" flat row with calls=0 and split its outgoing edges under a
+    # second name.
+
     def on_call(self, thread: VThread, func: str, caller: str) -> None:
-        self._calls[func] += 1
-        self._edges[(caller or "<spontaneous>", func)] += 1
+        self._calls[func or "<main>"] += 1
+        self._edges[(caller or "<main>", func or "<main>")] += 1
+
+    def on_thread_created(self, thread: VThread, parent: Optional[VThread]) -> None:
+        # entering a thread's top-level code is the one "call" of <main>
+        self._calls["<main>"] += 1
+        self._edges[("<spontaneous>", "<main>")] += 1
 
     def on_work(self, thread: VThread, line: SourceLine, func: str, nominal_ns: int) -> None:
         self._self_ns[func or "<main>"] += nominal_ns

@@ -37,18 +37,26 @@ class PerfProfile:
         self.func_samples = Counter(func_samples)
         self.total = sum(line_samples.values())
 
+    # rankings sort by (-samples, name): Counter.most_common breaks ties by
+    # insertion order, which depends on execution history and would make two
+    # bit-identical runs render differently-ordered reports
+
     def by_line(self) -> List[PerfEntry]:
         total = max(1, self.total)
         return [
             PerfEntry(str(line), n, 100.0 * n / total)
-            for line, n in self.line_samples.most_common()
+            for line, n in sorted(
+                self.line_samples.items(), key=lambda kv: (-kv[1], str(kv[0]))
+            )
         ]
 
     def by_func(self) -> List[PerfEntry]:
         total = max(1, self.total)
         return [
-            PerfEntry(func or "<main>", n, 100.0 * n / total)
-            for func, n in self.func_samples.most_common()
+            PerfEntry(func, n, 100.0 * n / total)
+            for func, n in sorted(
+                self.func_samples.items(), key=lambda kv: (-kv[1], kv[0])
+            )
         ]
 
     def pct_line(self, line: SourceLine) -> float:
@@ -81,7 +89,9 @@ class PerfObserver(Observer):
 
     def on_sample(self, sample: Sample) -> None:
         self._line_samples[sample.line] += 1
-        self._func_samples[sample.func] += 1
+        # top-level code interns as "<main>" here, at the observer boundary,
+        # so by_func rows and pct_func lookups agree on one key
+        self._func_samples[sample.func or "<main>"] += 1
 
     def profile(self) -> PerfProfile:
         return PerfProfile(self._line_samples, self._func_samples)

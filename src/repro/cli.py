@@ -6,6 +6,8 @@ Subcommands:
   the ranked profile (the simulator's ``coz run --- <program>``);
 * ``compare <app>`` — Table 3 style before/after optimization comparison;
 * ``overhead <app>`` — Figure 9 style overhead breakdown;
+* ``diff`` — differential profiler report: run causal + gprof + perf + GAPP
+  on each app and compare their rankings (:mod:`repro.harness.differential`);
 * ``doctor <app>`` — run the delay-accounting invariant audit
   (:mod:`repro.core.audit`) and print a pass/fail table;
 * ``bench`` — engine throughput microbenchmarks over the fixed app matrix,
@@ -213,6 +215,38 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.harness.differential import (
+        DiffConfig,
+        diff_to_json,
+        render_diff,
+        run_differential,
+    )
+
+    apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    if not apps:
+        raise SystemExit("--apps: no application names given")
+    config = DiffConfig(
+        runs=args.runs,
+        jobs=args.jobs,
+        experiment_ms=args.experiment_ms,
+        top_k=args.top,
+        checkpoint=not args.no_checkpoint,
+        quick=args.quick,
+    )
+    diffs = []
+    for app in apps:
+        try:
+            diffs.append(run_differential(app, config))
+        except registry.UnknownAppError as exc:
+            raise SystemExit(str(exc))
+    if args.output == "json":
+        print(diff_to_json(diffs))
+    else:
+        print(render_diff(diffs, top=args.top), end="")
+    return 0
+
+
 def cmd_doctor(args: argparse.Namespace) -> int:
     from repro.core.audit import run_doctor
 
@@ -353,6 +387,34 @@ def main(argv: Optional[list] = None) -> int:
         help="append this run's summary to the document's cross-PR history",
     )
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "diff",
+        help="differential profiler report: causal vs gprof vs perf vs GAPP",
+    )
+    p.add_argument(
+        "--apps", default="example",
+        help="comma-separated application names (default: example)",
+    )
+    p.add_argument("--runs", type=int, default=6,
+                   help="causal free-selection runs per app (default 6)")
+    p.add_argument("--experiment-ms", type=float, default=25.0)
+    p.add_argument("--top", type=int, default=10,
+                   help="rows per ranking and the k of top-k disagreement")
+    p.add_argument(
+        "--output", choices=("text", "json"), default="text",
+        help="report format; json is the canonical sorted-keys document",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="shrink runs/experiments/workloads for CI smoke jobs",
+    )
+    p.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="disable checkpoint fast-forward for the causal sessions",
+    )
+    _add_jobs_flag(p)
+    p.set_defaults(fn=cmd_diff)
 
     p = sub.add_parser(
         "doctor", help="audit the delay-accounting invariants on an app"

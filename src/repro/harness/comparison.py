@@ -78,16 +78,32 @@ def measure_runtimes(
     ):
         outputs[out.index] = out
 
+    # an output can be absent outright — a journal recorded for fewer runs
+    # resumed against a larger ``runs``, or an executor task lost after retry
+    # exhaustion — so index with .get and count the hole as a failed run
+    # rather than dying on KeyError
     runtimes = []
-    failed = [outputs[i].run_failure() for i in range(runs) if outputs[i].failed]
+    failed = []
+    absent = []
     for i in range(runs):
-        if not outputs[i].failed:
-            runtimes.append(outputs[i].run["runtime_ns"])
-    if failed:
+        out = outputs.get(i)
+        if out is None:
+            absent.append(i)
+        elif out.failed:
+            failed.append(out.run_failure())
+        else:
+            runtimes.append(out.run["runtime_ns"])
+    if failed or absent:
+        if failed:
+            first = (
+                f"run {failed[0].index}, "
+                f"{failed[0].error_type}: {failed[0].message}"
+            )
+        else:
+            first = f"run {absent[0]} produced no output"
         warnings.warn(
-            f"{len(failed)} of {runs} runs failed and were dropped from the "
-            f"runtime measurement (first: run {failed[0].index}, "
-            f"{failed[0].error_type}: {failed[0].message})",
+            f"{len(failed) + len(absent)} of {runs} runs failed and were "
+            f"dropped from the runtime measurement (first: {first})",
             ParallelExecutionWarning,
             stacklevel=2,
         )

@@ -165,6 +165,12 @@ class Engine:
 
         self.hook: Optional[ProfilerHook] = None
         self.observers: List[Observer] = []
+        #: subset of observers that override on_block/on_unblock; block/wake
+        #: notifications (and the per-thread block timestamps backing their
+        #: ``blocked_ns``) are maintained only when this is non-empty, so
+        #: ordinary runs pay nothing for the surface
+        self._block_observers: List[Observer] = []
+        self._blocked_at: dict = {}
         self.sampler = Sampler(self.cfg.sample_period_ns, self.cfg.sample_batch)
         self.sampling_enabled = False
         self._observer_sampling = False
@@ -253,6 +259,13 @@ class Engine:
         if getattr(obs, "wants_samples", False):
             self._observer_sampling = True
             self._sampling_live = True
+        cls = type(obs)
+        if (
+            getattr(cls, "on_block", Observer.on_block) is not Observer.on_block
+            or getattr(cls, "on_unblock", Observer.on_unblock)
+            is not Observer.on_unblock
+        ):
+            self._block_observers.append(obs)
 
     def watch_line(self, line: SourceLine) -> None:
         """Register a breakpoint progress point on ``line``."""
@@ -869,8 +882,12 @@ class Engine:
         if state is SLEEPING:
             self._sleeping += 1
 
-    def _block(self, t: VThread, why: str) -> None:
+    def _block(self, t: VThread, why: str, obj: object = None) -> None:
         self._go_offcpu(t, BLOCKED, why)
+        if self._block_observers:
+            self._blocked_at[t] = self.now
+            for obs in self._block_observers:
+                obs.on_block(t, obj)
 
     def _make_ready(self, t: VThread) -> None:
         if t.state is SLEEPING:
@@ -892,6 +909,15 @@ class Engine:
         t.blocked_on = None
         t.state = READY
         self.ready.append(t)
+        if self._block_observers:
+            # a timed wakeup (sleep/IO) transits through BLOCKED without an
+            # on_block edge, so only threads with a recorded block instant
+            # produce an unblock notification
+            since = self._blocked_at.pop(t, None)
+            if since is not None:
+                blocked_ns = self.now - since
+                for obs in self._block_observers:
+                    obs.on_unblock(t, waker, blocked_ns)
 
     # ------------------------------------------------------------------ generator advance
 
@@ -1056,7 +1082,7 @@ class Engine:
         else:
             m.waiters.append(t)
             m.contended_acquires += 1
-            self._block(t, f"mutex:{m.name}")
+            self._block(t, f"mutex:{m.name}", m)
 
     def _do_trylock(self, t: VThread, op) -> None:
         m: Mutex = op.mutex
@@ -1092,7 +1118,7 @@ class Engine:
         # release the mutex (may wake a lock waiter)
         self._unlock(t, m)
         c.waiters.append((t, m))
-        self._block(t, f"cond:{c.name}")
+        self._block(t, f"cond:{c.name}", c)
 
     def _transfer_cond_waiter(self, waker: VThread, w: VThread, m: Mutex) -> None:
         """A signalled waiter must re-acquire its mutex before resuming."""
@@ -1129,7 +1155,7 @@ class Engine:
             b.arrived.clear()
             t.send_value = True  # serial thread
         else:
-            self._block(t, f"barrier:{b.name}")
+            self._block(t, f"barrier:{b.name}", b)
 
     def _do_sem_wait(self, t: VThread, op) -> None:
         s: Semaphore = op.sem
@@ -1137,7 +1163,7 @@ class Engine:
             s.value -= 1
         else:
             s.waiters.append(t)
-            self._block(t, f"sem:{s.name}")
+            self._block(t, f"sem:{s.name}", s)
 
     def _do_sem_post(self, t: VThread, op) -> None:
         s: Semaphore = op.sem
@@ -1153,7 +1179,7 @@ class Engine:
             t.send_value = target.exit_value
         else:
             target.joiners.append(t)
-            self._block(t, f"join:{target.name}")
+            self._block(t, f"join:{target.name}", target)
 
     def _do_sleep(self, t: VThread, op) -> None:
         self._suspend_timed(t, op.duration, "sleep")

@@ -184,3 +184,30 @@ class Observer:
         """Exact accounting: ``nominal_ns`` of CPU ran on ``line``/``func``."""
 
     def on_progress(self, thread: "VThread", name: str) -> None: ...
+
+    def on_block(self, thread: "VThread", obj: object) -> None:
+        """``thread`` suspended on a synchronization object.
+
+        ``obj`` is the primitive it blocked on — a :class:`~repro.sim.sync.
+        Mutex`, :class:`~repro.sim.sync.CondVar`, :class:`~repro.sim.sync.
+        Barrier`, :class:`~repro.sim.sync.Semaphore`, or the joined
+        :class:`~repro.sim.thread.VThread`.  Timed suspensions (sleep, I/O,
+        profiler-inserted pauses) are *not* blocking edges and never fire
+        this.  Only observers that override :meth:`on_block` or
+        :meth:`on_unblock` pay the (purely observational) notification cost;
+        the engine's scheduling is unchanged either way.
+        """
+
+    def on_unblock(
+        self, thread: "VThread", waker: Optional["VThread"], blocked_ns: int
+    ) -> None:
+        """``thread`` resumed from a blocking edge after ``blocked_ns``.
+
+        ``waker`` is the thread whose waking op (Table 1) released it — the
+        unlocker, signaller, last barrier arrival, semaphore poster, or
+        exiting joinee.  Every :meth:`on_block` is matched by exactly one
+        :meth:`on_unblock` (threads never finish blocked; deadlocks abort
+        the run), and at notification time the waker's callchain still
+        points at its waking call site — which is how the GAPP baseline
+        attributes serialization to lock-holder code.
+        """

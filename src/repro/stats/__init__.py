@@ -9,6 +9,7 @@ significance claim), and ordinary least squares with slope standard error
 
 from repro.stats.bootstrap import bootstrap_ci, bootstrap_se, speedup_stats
 from repro.stats.mannwhitney import mann_whitney_u
+from repro.stats.rankcorr import RankCorrelation, rank_correlation, top_k_disagreement
 from repro.stats.regression import linear_regression
 
 __all__ = [
@@ -17,4 +18,7 @@ __all__ = [
     "speedup_stats",
     "mann_whitney_u",
     "linear_regression",
+    "RankCorrelation",
+    "rank_correlation",
+    "top_k_disagreement",
 ]

@@ -1,0 +1,85 @@
+"""Rank correlation between profiler rankings.
+
+The differential report asks "do gprof/perf/GAPP order the code the way the
+causal profile does?"  Two classical measures, implemented from scratch like
+the rest of :mod:`repro.stats`:
+
+* **Spearman's rho** — Pearson correlation on ranks.  Computed via the
+  distinct-rank identity ``rho = 1 - 6 * sum(d^2) / (n^3 - n)``, valid here
+  because both inputs are orderings (every rank distinct by construction —
+  ties inside a profiler's scores are already broken deterministically by
+  the rankings themselves).
+* **Kendall's tau-a** — ``(concordant - discordant) / (n choose 2)`` pairs.
+
+Both are computed on the *overlap* of the two orderings' key sets: a
+profiler can only be judged on code it actually ranked, and the top-k
+disagreement lists in the differential report cover what it missed
+entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+def _positions(order: Sequence[str]) -> Dict[str, int]:
+    pos: Dict[str, int] = {}
+    for i, key in enumerate(order):
+        if key not in pos:  # first occurrence wins, duplicates ignored
+            pos[key] = i
+    return pos
+
+
+@dataclass(frozen=True)
+class RankCorrelation:
+    """Spearman/Kendall agreement between two orderings on their overlap."""
+
+    overlap: int
+    spearman: Optional[float]  # None when overlap < 2 (undefined)
+    kendall: Optional[float]
+
+
+def rank_correlation(
+    order_a: Sequence[str], order_b: Sequence[str]
+) -> RankCorrelation:
+    """Agreement between two ranked key lists (best first).
+
+    Keys present in only one ordering are dropped; the survivors are
+    re-ranked 0..n-1 within each ordering, preserving relative order, so the
+    statistics compare *relative* placement on shared keys.
+    """
+    pos_b = _positions(order_b)
+    shared = [k for k in _positions(order_a) if k in pos_b]
+    n = len(shared)
+    if n < 2:
+        return RankCorrelation(overlap=n, spearman=None, kendall=None)
+
+    # rank of each shared key within the restricted orderings
+    rank_a = {k: i for i, k in enumerate(shared)}  # shared is in a-order
+    rank_b = {
+        k: i for i, k in enumerate(sorted(shared, key=lambda k: pos_b[k]))
+    }
+
+    d2 = sum((rank_a[k] - rank_b[k]) ** 2 for k in shared)
+    rho = 1.0 - (6.0 * d2) / (n * (n * n - 1))
+
+    # b-ranks visited in a-order: concordant pairs appear ascending
+    seq = [rank_b[k] for k in shared]
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if seq[j] > seq[i]:
+                concordant += 1
+            else:
+                discordant += 1
+    tau = (concordant - discordant) / (n * (n - 1) / 2)
+    return RankCorrelation(overlap=n, spearman=rho, kendall=tau)
+
+
+def top_k_disagreement(
+    order_a: Sequence[str], order_b: Sequence[str], k: int
+) -> List[str]:
+    """Keys in ``order_a``'s top-k that are absent from ``order_b``'s top-k."""
+    top_b = set(order_b[:k])
+    return [key for key in order_a[:k] if key not in top_b]

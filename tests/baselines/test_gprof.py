@@ -39,7 +39,27 @@ def test_call_graph_edges():
     assert p.calls["outer"] == 4
     assert p.calls["inner"] == 4
     assert p.callers("inner") == {"outer": 4}
-    assert p.callers("outer") == {"<spontaneous>": 4}
+    # top-level code is "<main>", consistently across flat/calls/edges
+    assert p.callers("outer") == {"<main>": 4}
+    assert p.callers("<main>") == {"<spontaneous>": 1}
+    assert p.calls["<main>"] == 1
+
+
+def test_flat_ties_break_by_name_not_insertion_order():
+    """Equal self-time rows sort alphabetically, not by execution order."""
+    g = GprofObserver()
+
+    def main(t):
+        def fn():
+            yield Work(L, US(10))
+
+        # adversarial execution order: reverse-alphabetical
+        for name in ("zeta", "mid", "alpha"):
+            yield from call(name, fn())
+
+    Program(main).run(observers=[g])
+    rows = [e.func for e in g.profile().flat()]
+    assert rows == ["alpha", "mid", "zeta"]
 
 
 def test_instrumentation_overhead_slows_program():

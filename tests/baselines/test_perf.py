@@ -69,6 +69,40 @@ def test_sqlite_hot_functions_look_tiny_to_perf():
     assert top.key in ("sqlite3.c:78000", "sqlite3.c:64100")
 
 
+def test_rank_ties_break_by_name_not_insertion_order():
+    """Equal-count rows sort by key; Counter insertion order must not leak."""
+    from collections import Counter
+
+    from repro.baselines.perf import PerfProfile
+
+    # adversarial insertion order: reverse-alphabetical
+    lines = Counter()
+    for name in ("z.c:9", "m.c:5", "a.c:1"):
+        lines[line(name)] = 7
+    funcs = Counter({"zeta": 7, "mid": 7, "alpha": 7})
+    p = PerfProfile(lines, funcs)
+    assert [e.key for e in p.by_line()] == ["a.c:1", "m.c:5", "z.c:9"]
+    assert [e.key for e in p.by_func()] == ["alpha", "mid", "zeta"]
+    # count still dominates the name
+    funcs["zeta"] += 1
+    p = PerfProfile(lines, funcs)
+    assert [e.key for e in p.by_func()] == ["zeta", "alpha", "mid"]
+
+
+def test_main_key_normalized_at_observer_boundary():
+    """Top-level samples intern as "<main>" so pct_func agrees with by_func."""
+    obs = PerfObserver()
+
+    def main(t):
+        yield Work(L1, MS(2))
+
+    cfg = SimConfig(sample_period_ns=US(100), sample_phase_jitter=False)
+    Program(main, config=cfg).run(observers=[obs])
+    p = obs.profile()
+    assert p.by_func()[0].key == "<main>"
+    assert p.pct_func("<main>") == pytest.approx(100.0)
+
+
 def test_render():
     obs = PerfObserver()
 

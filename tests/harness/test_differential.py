@@ -1,0 +1,96 @@
+"""Differential profiler report: schema, agreement, determinism."""
+
+import json
+
+import pytest
+
+from repro.harness.differential import (
+    DiffConfig,
+    diff_to_json,
+    render_app_diff,
+    render_diff,
+    run_differential,
+)
+
+QUICK = DiffConfig(runs=2, quick=True)
+
+
+@pytest.fixture(scope="module")
+def example_diff():
+    return run_differential("example", QUICK)
+
+
+def test_rankings_cover_both_spaces(example_diff):
+    spaces = {(r.profiler, r.space) for r in example_diff.rankings}
+    assert ("causal", "line") in spaces
+    assert ("perf", "line") in spaces
+    assert ("gapp", "line") in spaces
+    assert ("gprof", "func") in spaces
+    assert ("causal", "func") in spaces
+    # gprof only knows functions
+    assert ("gprof", "line") not in spaces
+
+
+def test_example_rankings_match_figure_2a(example_diff):
+    causal = example_diff.ranking("causal", "line")
+    perf = example_diff.ranking("perf", "line")
+    # both profilers see a's line first on example — but for different
+    # reasons: perf because it has the most samples, causal because its
+    # focused profile has the steepest slope
+    assert causal.entries[0].key == "example.cpp:2"
+    assert perf.entries[0].key == "example.cpp:2"
+    assert perf.score_of("example.cpp:2") == pytest.approx(51.1, abs=1.5)
+    agreement = example_diff.agreement("causal", "perf", "line")
+    assert agreement is not None
+    assert agreement.overlap >= 2
+
+
+def test_ranks_are_dense_and_one_based(example_diff):
+    for r in example_diff.rankings:
+        assert [e.rank for e in r.entries] == list(
+            range(1, len(r.entries) + 1)
+        )
+
+
+def test_report_is_deterministic_and_parallel_identical():
+    serial = run_differential("example", QUICK)
+    again = run_differential("example", QUICK)
+    parallel = run_differential("example", DiffConfig(runs=2, quick=True, jobs=2))
+    text = render_app_diff(serial)
+    assert text == render_app_diff(again)
+    assert text == render_app_diff(parallel)
+    assert diff_to_json([serial]) == diff_to_json([parallel])
+
+
+def test_report_identical_across_chunking_modes():
+    coalesced = run_differential(
+        "example", DiffConfig(runs=2, quick=True, coalesce=True)
+    )
+    legacy = run_differential(
+        "example", DiffConfig(runs=2, quick=True, coalesce=False)
+    )
+    assert render_app_diff(coalesced) == render_app_diff(legacy)
+    assert diff_to_json([coalesced]) == diff_to_json([legacy])
+
+
+def test_json_document_shape(example_diff):
+    doc = json.loads(diff_to_json([example_diff]))
+    assert doc["version"] == 1
+    (app,) = doc["apps"]
+    assert app["app"] == "example"
+    assert app["experiments"] > 0
+    assert app["runtime_ns"] > 0
+    for ranking in app["rankings"]:
+        assert ranking["profiler"] in ("causal", "gprof", "perf", "gapp")
+        for e in ranking["entries"]:
+            assert set(e) == {"key", "rank", "score"}
+    for g in app["agreements"]:
+        assert set(g) >= {"a", "b", "space", "spearman", "kendall", "overlap"}
+    # canonical: no timestamps anywhere
+    assert "generated" not in json.dumps(doc)
+
+
+def test_render_multiple_apps(example_diff):
+    out = render_diff([example_diff, example_diff])
+    assert out.count("== differential profile: example") == 2
+    assert "rank agreement" in out

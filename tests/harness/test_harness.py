@@ -20,6 +20,53 @@ def test_measure_runtimes_independent_seeds():
     assert all(t > 0 for t in times)
 
 
+def test_measure_runtimes_missing_output_degrades_with_warning(monkeypatch):
+    """An executor output lost after retry exhaustion degrades, not KeyError."""
+    from repro.harness import comparison
+    from repro.harness.parallel import ParallelExecutionWarning
+
+    spec = build_example(rounds=5)
+    real = comparison.execute_tasks
+
+    def lossy(tasks, **kw):
+        return [o for o in real(tasks, **kw) if o.index != 2]
+
+    monkeypatch.setattr(comparison, "execute_tasks", lossy)
+    with pytest.warns(ParallelExecutionWarning, match="run 2 produced no output"):
+        times = measure_runtimes(spec.build, runs=4)
+    assert len(times) == 3
+
+
+def test_measure_runtimes_short_journal_resumed_with_more_runs(
+    monkeypatch, tmp_path
+):
+    """A journal recorded for fewer runs + a dead executor degrades cleanly."""
+    from repro.harness import comparison
+    from repro.harness.journal import SessionJournal
+    from repro.harness.parallel import ParallelExecutionWarning
+
+    spec = build_example(rounds=5)
+    path = str(tmp_path / "runs.jsonl")
+    fingerprint = {"kind": "test-runtimes", "app": "example"}
+
+    jr = SessionJournal.create(path, fingerprint)
+    try:
+        assert len(measure_runtimes(spec.build, runs=2, journal=jr)) == 2
+    finally:
+        jr.close()
+
+    # resume against a larger run count while the executor produces nothing
+    # (as after retry exhaustion): the journal covers runs 0-1 only
+    monkeypatch.setattr(comparison, "execute_tasks", lambda tasks, **kw: [])
+    jr = SessionJournal.resume(path, fingerprint)
+    try:
+        with pytest.warns(ParallelExecutionWarning, match="2 of 4 runs failed"):
+            times = measure_runtimes(spec.build, runs=4, journal=jr)
+    finally:
+        jr.close()
+    assert len(times) == 2
+
+
 def test_compare_builds_detects_real_speedup():
     base = build_example(rounds=8)
     opt = build_example(rounds=8, line_speedups={LINE_A: 0.0})

@@ -74,7 +74,7 @@ def _session_cell(spec_args, runs=2, jobs=1):
 
 
 def _program_cell(build_spec, seed, coz_kwargs=None, sim_override=None,
-                  record_samples=True):
+                  record_samples=True, extra_observers=None):
     def run(coalesce=None):
         spec = build_spec()
         program = spec.build(seed)
@@ -88,7 +88,8 @@ def _program_cell(build_spec, seed, coz_kwargs=None, sim_override=None,
         )
         prof = CausalProfiler(cfg, spec.progress_points)
         hasher = TraceHasher(record_samples=record_samples)
-        result = program.run(hook=prof, observers=[hasher], config=config)
+        observers = [hasher] + (extra_observers() if extra_observers else [])
+        result = program.run(hook=prof, observers=observers, config=config)
         return _sha(
             prof.data.to_json()
             + f"|{hasher.hexdigest()}|{result.runtime_ns}|{result.cpu_ns}"
@@ -162,6 +163,42 @@ def test_golden_trace_legacy_mode(cell):
     assert CELLS[cell](coalesce=False) == GOLDEN[cell], (
         f"{cell}: legacy quantum path diverged from the recorded trace"
     )
+
+
+def test_block_observers_do_not_perturb_golden_traces():
+    """Observers on the block/unblock surface leave golden hashes unchanged.
+
+    A profiled run with a GAPP observer (plus a plain block-counting
+    observer) attached next to the trace hasher must reproduce the recorded
+    hash exactly — the notification path is purely observational.
+    """
+    from repro.baselines.gapp import GappObserver
+    from repro.sim.hooks import Observer
+
+    class BlockCounter(Observer):
+        def __init__(self):
+            self.edges = 0
+
+        def on_block(self, thread, obj):
+            self.edges += 1
+
+        def on_unblock(self, thread, waker, blocked_ns):
+            pass
+
+    extras = lambda: [GappObserver(), BlockCounter()]  # noqa: E731
+    observed = {
+        "example_jitter": _program_cell(
+            lambda: build_example(rounds=40), seed=5, extra_observers=extras
+        ),
+        "streamcluster_interference": _program_cell(
+            lambda: build_streamcluster(n_threads=4, n_phases=40), seed=7,
+            extra_observers=extras,
+        ),
+    }
+    for name, cell in observed.items():
+        assert cell() == GOLDEN[name], (
+            f"{name}: block observer perturbed the trace"
+        )
 
 
 def test_parallel_session_matches_serial():

@@ -1,0 +1,73 @@
+"""Spearman/Kendall rank agreement on ranking overlaps."""
+
+import pytest
+
+from repro.stats.rankcorr import rank_correlation, top_k_disagreement
+
+
+def test_identical_orderings():
+    c = rank_correlation(["a", "b", "c", "d"], ["a", "b", "c", "d"])
+    assert c.overlap == 4
+    assert c.spearman == pytest.approx(1.0)
+    assert c.kendall == pytest.approx(1.0)
+
+
+def test_reversed_orderings():
+    c = rank_correlation(["a", "b", "c", "d"], ["d", "c", "b", "a"])
+    assert c.spearman == pytest.approx(-1.0)
+    assert c.kendall == pytest.approx(-1.0)
+
+
+def test_known_values():
+    # ranks a: x=0 y=1 z=2 w=3; b: y=0 x=1 w=2 z=3 -> d = (1,1,1,1)
+    c = rank_correlation(["x", "y", "z", "w"], ["y", "x", "w", "z"])
+    assert c.spearman == pytest.approx(1 - 6 * 4 / (4 * 15))  # 0.6
+    # pairs: xy discordant, zw discordant, rest concordant -> (4-2)/6
+    assert c.kendall == pytest.approx(2 / 6)
+
+
+def test_restricted_to_overlap():
+    # only b and c are shared; a-order (b, c) vs b-order (c, b): reversed
+    c = rank_correlation(["a", "b", "c"], ["c", "b", "x", "y"])
+    assert c.overlap == 2
+    assert c.spearman == pytest.approx(-1.0)
+    assert c.kendall == pytest.approx(-1.0)
+
+
+def test_degenerate_overlaps():
+    assert rank_correlation([], []).overlap == 0
+    assert rank_correlation(["a"], ["a"]).spearman is None
+    assert rank_correlation(["a", "b"], ["c", "d"]).overlap == 0
+    assert rank_correlation(["a"], ["a"]).kendall is None
+
+
+def test_duplicates_keep_first_occurrence():
+    c = rank_correlation(["a", "b", "a"], ["a", "b"])
+    assert c.overlap == 2
+    assert c.spearman == pytest.approx(1.0)
+
+
+def test_top_k_disagreement():
+    a = ["p", "q", "r", "s"]
+    b = ["q", "x", "y", "p"]
+    assert top_k_disagreement(a, b, 2) == ["p"]
+    assert top_k_disagreement(b, a, 2) == ["x"]
+    assert top_k_disagreement(a, b, 4) == ["r", "s"]
+    assert top_k_disagreement(a, a, 3) == []
+
+
+def test_scipy_cross_check():
+    scipy = pytest.importorskip("scipy")
+    keys = ["k%d" % i for i in range(10)]
+    import random
+
+    rng = random.Random(7)
+    other = keys[:]
+    rng.shuffle(other)
+    c = rank_correlation(keys, other)
+    ra = list(range(10))
+    rb = [other.index(k) for k in keys]
+    assert c.spearman == pytest.approx(scipy.stats.spearmanr(ra, rb).statistic)
+    assert c.kendall == pytest.approx(
+        scipy.stats.kendalltau(ra, rb, variant="b").statistic
+    )
