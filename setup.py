@@ -1,11 +1,29 @@
-"""Setup shim for environments without the `wheel` package.
+"""Setup shim: metadata lives in pyproject.toml; this adds the optional
+compiled engine core.
 
-`pip install -e .` on a pyproject-only package requires PEP 660 editable
-wheels; offline environments without `wheel` can fall back to
-`python setup.py develop` via this shim.  All metadata lives in
-pyproject.toml.
+The extension is *optional* in the setuptools sense: environments without a
+C toolchain still install fine and run the pure-Python engine loop.  Build
+it in place with::
+
+    python setup.py build_ext --inplace
+
+(`pip install 'repro[accel]'` documents the same intent; see README.)  Set
+``REPRO_SKIP_ACCEL_BUILD=1`` to skip the extension entirely.
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import Extension, setup
+
+ext_modules = []
+if os.environ.get("REPRO_SKIP_ACCEL_BUILD") != "1":
+    ext_modules.append(
+        Extension(
+            "repro.sim.backend._core",
+            sources=["src/repro/sim/backend/_core.c"],
+            optional=True,
+            extra_compile_args=["-O2"],
+        )
+    )
+
+setup(ext_modules=ext_modules)

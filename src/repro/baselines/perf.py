@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.sim.hooks import Observer
-from repro.sim.sampler import Sample
+from repro.sim.sampler import SEG_LITERAL, Sample
 from repro.sim.source import SourceLine
 
 
@@ -82,6 +82,7 @@ class PerfObserver(Observer):
     """Attach to a run to collect a perf-style flat profile."""
 
     wants_samples = True
+    accepts_columnar = True
 
     def __init__(self) -> None:
         self._line_samples: Counter = Counter()
@@ -92,6 +93,26 @@ class PerfObserver(Observer):
         # top-level code interns as "<main>" here, at the observer boundary,
         # so by_func rows and pct_func lookups agree on one key
         self._func_samples[sample.func or "<main>"] += 1
+
+    def on_sample_batch(self, batch) -> None:
+        if type(batch) is list:
+            for s in batch:
+                self.on_sample(s)
+            return
+        # columnar: a flat profile only needs per-segment counts — every
+        # sample in a run-length segment shares one (line, func), so the
+        # timestamps never need expanding
+        lines = self._line_samples
+        funcs = self._func_samples
+        for seg in batch.segs:
+            if seg[0] == SEG_LITERAL:
+                for s in seg[2]:
+                    lines[s.line] += 1
+                    funcs[s.func or "<main>"] += 1
+            else:
+                n = seg[1]
+                lines[seg[3]] += n
+                funcs[seg[5] or "<main>"] += n
 
     def profile(self) -> PerfProfile:
         return PerfProfile(self._line_samples, self._func_samples)

@@ -34,8 +34,10 @@ from repro.core.profile_data import ProfileData, RunInfo
 from repro.core.progress import LatencySpec, ProgressPoint, ProgressTracker
 from repro.core.speedup import DelayEngine
 from repro.plan.schedule import RunScheduler
+from bisect import bisect_left
+
 from repro.sim.hooks import HookAction, ProfilerHook
-from repro.sim.sampler import Sample
+from repro.sim.sampler import SEG_AFFINE, SEG_LITERAL, Sample
 from repro.sim.source import SourceLine
 from repro.sim.thread import VThread
 
@@ -80,6 +82,11 @@ class CausalProfiler(ProfilerHook):
     """Coz as a simulator hook."""
 
     wants_samples = True
+    #: aggregate straight from columnar segment buffers (repro.sim.sampler):
+    #: under the columnar pipeline `on_samples` never materializes Sample
+    #: tuples — attribution, tracker counts, and experiment hits are all
+    #: computed per run-length segment
+    accepts_columnar = True
 
     def __init__(
         self,
@@ -175,7 +182,10 @@ class CausalProfiler(ProfilerHook):
 
     # ------------------------------------------------------------------ samples
 
-    def on_samples(self, thread: VThread, samples: List[Sample]) -> HookAction:
+    def on_samples(self, thread: VThread, samples) -> HookAction:
+        if type(samples) is not list:
+            # columnar pipeline: aggregate per segment, never per sample
+            return self._on_samples_columnar(thread, samples)
         cfg = self.cfg
         cost = len(samples) * cfg.sample_process_cost_ns
 
@@ -220,6 +230,98 @@ class CausalProfiler(ProfilerHook):
             cap = self.cfg.max_experiments
             if cap is None or len(self.data.experiments) < cap:
                 selected = self.scheduler.select_line(in_scope, bool(samples))
+                if selected is not None:
+                    self._start_experiment(selected)
+        return HookAction(pause_ns=pause, cpu_ns=cost)
+
+    def _on_samples_columnar(self, thread: VThread, batch) -> HookAction:
+        """Segment-wise twin of the scalar ``on_samples`` loop.
+
+        Each columnar segment carries one (line, callchain, func) for ``n``
+        consecutive samples, so attribution, per-line totals, tracker
+        counts, and the in-scope selection pool (which must preserve
+        duplicate multiplicity — ``select_line`` draws uniformly over
+        *samples*, not lines) are all O(1) per segment.  Experiment hits
+        need the ``time >= start_ns`` cut: closed form for affine
+        timestamp segments, a binary search over the (nondecreasing)
+        expanded times for rescaled ones.  Byte-identical to the scalar
+        loop by construction; the golden-trace matrix and the sampler
+        property tests are the referees.
+        """
+        cfg = self.cfg
+        cost = batch.n * cfg.sample_process_cost_ns
+
+        hits = 0
+        in_scope: List[SourceLine] = []
+        first_in_scope = cfg.scope.first_in_scope
+        line_samples = self.line_samples
+        sampled_lines_get = self.tracker._sampled_lines.get
+        tracker_counts = self.tracker.counts
+        running = self.state == _RUNNING
+        waiting = self.state == _WAIT  # in_scope only feeds selection
+        exp_line = self._line
+        start_ns = self._start_ns
+        prev_chain = prev_attr = None
+        for seg in batch.segs:
+            kind = seg[0]
+            if kind == SEG_LITERAL:
+                # snapshot-restored pre-materialized samples: scalar walk
+                for s in seg[2]:
+                    chain = s.callchain
+                    if chain is prev_chain:
+                        attributed = prev_attr
+                    else:
+                        prev_chain = chain
+                        attributed = prev_attr = first_in_scope(chain)
+                    if attributed is None:
+                        continue
+                    line_samples[attributed] = line_samples.get(attributed, 0) + 1
+                    name = sampled_lines_get(attributed)
+                    if name is not None:
+                        tracker_counts[name] += 1
+                    if waiting:
+                        in_scope.append(attributed)
+                    if running and attributed == exp_line and s.time >= start_ns:
+                        hits += 1
+                continue
+            n = seg[1]
+            chain = seg[4]
+            if chain is prev_chain:
+                attributed = prev_attr
+            else:
+                prev_chain = chain
+                attributed = prev_attr = first_in_scope(chain)
+            if attributed is None:
+                continue
+            line_samples[attributed] = line_samples.get(attributed, 0) + n
+            name = sampled_lines_get(attributed)
+            if name is not None:
+                tracker_counts[name] += n
+            if waiting:
+                in_scope.extend([attributed] * n)
+            if running and attributed == exp_line:
+                # only samples taken after the experiment started count as
+                # hits (stale buffered samples must not trigger delays)
+                if kind == SEG_AFFINE:
+                    base, period = seg[6], seg[7]
+                    if base + period >= start_ns:
+                        hits += n  # the first sample already passes the cut
+                    else:
+                        kmin = -(-(start_ns - base) // period)
+                        if kmin <= n:
+                            hits += n - kmin + 1
+                else:
+                    times = batch.seg_times(seg)
+                    hits += n - bisect_left(times, start_ns)
+
+        pause = 0
+        if self.state == _RUNNING:
+            self._s_obs += hits
+            pause = self.delays.on_hits(thread, hits)
+        elif self.state == _WAIT:
+            cap = self.cfg.max_experiments
+            if cap is None or len(self.data.experiments) < cap:
+                selected = self.scheduler.select_line(in_scope, bool(batch))
                 if selected is not None:
                     self._start_experiment(selected)
         return HookAction(pause_ns=pause, cpu_ns=cost)

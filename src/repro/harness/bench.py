@@ -27,10 +27,13 @@ The matrix covers three apps (example, ferret, sqlite) in seven variants:
 ``nojitter``
     like ``program`` with ``sample_phase_jitter=False``;
 ``legacy``
-    like ``program`` with ``coalesce=False``, i.e. the retained
-    quantum-chunked event loop.  ``summary.speedup_vs_legacy`` =
-    ``legacy.wall_s / program.wall_s`` is the reproducible, same-process
-    measure of what chunk coalescing buys on each workload;
+    like ``program`` pinned to the full pre-overhaul configuration:
+    ``coalesce=False`` (quantum-chunked event loop), ``backend="pure"``
+    (no compiled core) and ``columnar_samples=False`` (scalar sample
+    pipeline).  ``summary.speedup_vs_legacy`` = ``legacy.wall_s /
+    program.wall_s`` is the reproducible, same-process measure of what
+    the whole coalescing + columnar + compiled-dispatch stack buys on
+    each workload;
 ``checkpoint``
     the ``session`` cell with checkpoint fast-forward on
     (:mod:`repro.harness.checkpoint`): one untimed populate pass records
@@ -94,7 +97,12 @@ VARIANTS = {
     "nosampling": ("session", {"enable_sampling": False}, {}, {}),
     "program": ("program", {}, {}, {}),
     "nojitter": ("program", {}, {"sample_phase_jitter": False}, {}),
-    "legacy": ("program", {}, {"coalesce": False}, {}),
+    "legacy": (
+        "program",
+        {},
+        {"coalesce": False, "backend": "pure", "columnar_samples": False},
+        {},
+    ),
     "checkpoint": ("session", {}, {}, {"checkpoint": True}),
     "planner": ("planner", {}, {}, {}),
 }
@@ -141,6 +149,8 @@ class CellResult:
     virtual_ns: int = 0                # summed over the cell's runs
     events: int = 0
     samples: int = 0
+    backend: str = ""                  # resolved engine backend ('pure'/'accel')
+    pipeline: str = ""                 # sample pipeline ('columnar'/'scalar')
     extra: Optional[Dict] = None       # variant-specific metrics (planner cell)
 
     def to_json(self) -> Dict:
@@ -150,6 +160,8 @@ class CellResult:
             "app": self.app,
             "variant": self.variant,
             "mode": self.mode,
+            "backend": self.backend,
+            "pipeline": self.pipeline,
             "runs": self.runs,
             "repeats": self.repeats,
             "wall_s": round(wall, 4),
@@ -333,6 +345,14 @@ def run_cell(cell: BenchCell) -> CellResult:
         else:
             metrics = _run_program_cell(cell, coz_over, sim_over)
         walls.append(time.perf_counter() - t0)
+    # record how the cell actually executed: the variant's pinned values
+    # where set, else the process defaults the engines resolved to — so a
+    # document read in isolation says which backend/pipeline it measured
+    from repro.sim import backend as backend_mod
+
+    columnar = sim_over.get("columnar_samples")
+    if columnar is None:
+        columnar = backend_mod.default_columnar()
     return CellResult(
         name=cell.name,
         app=cell.app,
@@ -342,6 +362,8 @@ def run_cell(cell: BenchCell) -> CellResult:
         repeats=cell.repeats,
         wall_s=min(walls),
         wall_s_all=walls,
+        backend=backend_mod.resolve_backend(sim_over.get("backend")),
+        pipeline="columnar" if columnar else "scalar",
         extra=extra,
         **metrics,
     )
@@ -392,6 +414,14 @@ def run_bench(
                     stacklevel=2,
                 )
 
+    from repro.sim import backend as backend_mod
+
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
     doc = {
         "schema": SCHEMA,
         "generated_unix": int(time.time()),
@@ -399,7 +429,10 @@ def run_bench(
         "host": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),
+            "numpy": numpy_version,
+            "accel_built": backend_mod.accel_available(),
         },
+        "backend": backend_mod.resolve_backend(None),
         "cells": [c.to_json() for c in cells],
         "summary": {
             "speedup_vs_legacy": speedup_vs_legacy,
@@ -416,7 +449,9 @@ def run_bench(
     return doc
 
 
-def baseline_history(history: List[Dict]) -> List[Dict]:
+def baseline_history(
+    history: List[Dict], backend: Optional[str] = None
+) -> List[Dict]:
     """History entries usable as cross-PR performance baselines.
 
     ``--quick`` runs exist for CI crash detection only — their tiny
@@ -424,8 +459,16 @@ def baseline_history(history: List[Dict]) -> List[Dict]:
     ``quick: true`` and are excluded from any ``speedup_vs_legacy`` /
     ``checkpoint_speedup`` trajectory comparison.  Entries written before
     the tag existed have no ``quick`` key and count as full runs.
+
+    When ``backend`` is given, entries recorded under a *different* engine
+    backend are excluded too: a pure-backend wall time is not a baseline
+    for an accel run.  Entries predating the tag ran before the compiled
+    core existed and count as ``"pure"``.
     """
-    return [h for h in history if not h.get("quick")]
+    usable = [h for h in history if not h.get("quick")]
+    if backend is not None:
+        usable = [h for h in usable if h.get("backend", "pure") == backend]
+    return usable
 
 
 def write_bench(doc: Dict, path: str) -> None:

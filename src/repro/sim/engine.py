@@ -66,7 +66,7 @@ import heapq
 import math
 import random
 from collections import Counter, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, List, Optional, Set, Tuple
 
 from repro.sim import ops as O
@@ -142,6 +142,16 @@ class SimConfig:
     #: deterministic fault injection (:mod:`repro.sim.faults`); ``None``
     #: disables every injection path at zero hot-loop cost
     faults: Optional[FaultPlan] = None
+    #: engine execution backend: ``"pure"``, ``"accel"``, or ``None`` for
+    #: the process default (``REPRO_ENGINE_BACKEND`` env, else accel when
+    #: the compiled core is built).  Execution-only — results are
+    #: bit-identical either way — so it is excluded from ``repr`` and
+    #: thereby from every canonical session/checkpoint fingerprint.
+    backend: Optional[str] = field(default=None, repr=False)
+    #: sample-pipeline flavour: ``True`` columnar, ``False`` scalar, or
+    #: ``None`` for the process default (``REPRO_SAMPLE_PIPELINE`` env,
+    #: else columnar).  Execution-only, like ``backend``.
+    columnar_samples: Optional[bool] = field(default=None, repr=False)
 
 
 class Engine:
@@ -171,7 +181,21 @@ class Engine:
         #: ordinary runs pay nothing for the surface
         self._block_observers: List[Observer] = []
         self._blocked_at: dict = {}
-        self.sampler = Sampler(self.cfg.sample_period_ns, self.cfg.sample_batch)
+        from repro.sim import backend as _backend
+
+        #: resolved execution backend for this engine ('pure' or 'accel')
+        self.backend: str = _backend.resolve_backend(self.cfg.backend)
+        self._backend_loop = _backend.event_loop_for(self.backend)
+        #: times the compiled core actually ran an event loop for this
+        #: engine (0 under the pure backend or an accel fallback) — bench
+        #: and tests use this to prove the accel path really engaged
+        self.accel_loops = 0
+        columnar = self.cfg.columnar_samples
+        if columnar is None:
+            columnar = _backend.default_columnar()
+        self.sampler = Sampler(
+            self.cfg.sample_period_ns, self.cfg.sample_batch, columnar=columnar
+        )
         self.sampling_enabled = False
         self._observer_sampling = False
         self._sampling_live = False
@@ -345,6 +369,8 @@ class Engine:
     ) -> VThread:
         """Create a thread and make it runnable."""
         t = VThread(body, name=name, parent=parent, tid=len(self.threads))
+        if self.sampler.columnar:
+            t.sample_buffer = self.sampler.new_buffer()
         if self.cfg.sample_phase_jitter:
             # desynchronize sampling clocks across threads, like real timers
             t.sample_accum = self.rng.randrange(self.cfg.sample_period_ns)
@@ -401,111 +427,21 @@ class Engine:
             obs.on_run_end(self)
 
     def _event_loop(self) -> None:
-        max_ns = self.cfg.max_virtual_ns
-        heap = self._heap
-        pop = heapq.heappop
-        # Loop-invariant hoists: sampling/observer wiring is fixed once the
-        # run has started (on_run_start above is the last chance to change
-        # it), and the ready/running containers are mutated in place.
-        ready = self.ready
-        running = self.running
-        observers = self.observers
-        sampler = self.sampler
-        period_ns = sampler.period_ns
-        batch_size = sampler.batch_size
-        sampling_live = self._sampling_live
-        coalesce = self._coalesce
-        snap_next = self._snap_next
-        events = 0
-        while self._alive:
-            if not heap:
-                self.events_processed += events
-                events = 0
-                self._raise_deadlock()
-            if snap_next is not None and heap[0][0] >= snap_next:
-                # virtual time is about to cross a checkpoint-grid boundary
-                # and the engine is quiescent (between events): capture.
-                # The early events_processed flush keeps the final total
-                # identical whether or not this run is ever resumed.
-                self.events_processed += events
-                events = 0
-                snap_next = self._take_checkpoint()
-            when, _lp, _sub, _seq, kind, obj, arg = pop(heap)
-            if when > self.now:
-                self.now = when
-            events += 1
-            if kind == _EV_CHUNK:
-                if obj.chunk_token == arg and obj.state is RUNNING:
-                    # inlined chunk completion — the most frequent event by
-                    # far: account the chunk's CPU (the _account_cpu fast
-                    # path, kept in sync), then requeue for round-robin
-                    # fairness or keep driving the thread
-                    nominal = obj.chunk_nominal
-                    if nominal > 0:
-                        obj.activity_remaining -= nominal
-                        obj.cpu_ns += nominal
-                        self.total_cpu_ns += nominal
-                        if observers:
-                            func = obj.current_func()
-                            for obs in observers:
-                                obs.on_work(
-                                    obj, obj.activity_line, func, nominal
-                                )
-                        if sampling_live:
-                            accum = obj.sample_accum + nominal
-                            if (
-                                accum < period_ns
-                                and len(obj.sample_buffer) < batch_size
-                            ):
-                                obj.sample_accum = accum
-                            else:
-                                batch = sampler.account(
-                                    obj, nominal, self.now, True,
-                                    rate=obj.chunk_rate,
-                                )
-                                if batch is not None:
-                                    self._deliver_batch(obj, batch)
-                    obj.chunk_nominal = 0
-                    if obj.activity_remaining > 0 and ready:
-                        running.discard(obj)
-                        obj.state = READY
-                        ready.append(obj)
-                    else:
-                        self._drive(obj)
-            elif kind == _EV_SLEEP:
-                if obj.chunk_token == arg and obj.state is SLEEPING:
-                    self._sleeping -= 1
-                    obj.state = BLOCKED  # transit state so _wake() is legal
-                    self._wake(obj, waker=None)
-            elif kind == _EV_PAUSE:
-                if obj.chunk_token == arg and obj.state is SLEEPING:
-                    self._make_ready(obj)
-            elif kind == _EV_OVERHEAD:
-                if obj.chunk_token == arg and obj.state is RUNNING:
-                    self._drive(obj)
-            else:  # _EV_TIMER
-                self._timer_count -= 1
-                obj()
-                if coalesce:
-                    # a timer (experiment boundary) may have handed running
-                    # threads a pending pause/CPU charge; the legacy engine
-                    # honours those at the next quantum boundary, so pull any
-                    # in-flight mega-chunk back to its grid
-                    self._truncate_pending()
-            if ready:
-                self._dispatch()
-            if max_ns is not None and self.now > max_ns:
-                self.events_processed += events
-                raise SimulationError(
-                    f"virtual time exceeded max_virtual_ns ({self.now} > {max_ns})",
-                    virtual_ns=self.now,
-                )
-            if self._alive and not running and not ready:
-                if self._sleeping == 0 and self._timer_count == 0:
-                    self.events_processed += events
-                    events = 0
-                    self._raise_deadlock()
-        self.events_processed += events
+        """Run the selected backend's event loop (see repro.sim.backend).
+
+        The loop itself lives in :mod:`repro.sim.backend.pure` (reference)
+        and ``repro.sim.backend._core`` (optional compiled twin); both
+        drive this engine's state through the same methods and produce
+        bit-identical results.
+        """
+        self._backend_loop(self)
+
+    def _raise_overrun(self) -> None:
+        raise SimulationError(
+            f"virtual time exceeded max_virtual_ns "
+            f"({self.now} > {self.cfg.max_virtual_ns})",
+            virtual_ns=self.now,
+        )
 
     def _take_checkpoint(self) -> Optional[int]:
         """Hand the attached recorder a capture opportunity.
@@ -785,19 +721,39 @@ class Engine:
             if batch is not None:
                 self._deliver_batch(t, batch)
 
-    def _deliver_batch(self, t: VThread, batch: List) -> None:
+    def _deliver_batch(self, t: VThread, batch) -> None:
+        """Deliver a flushed batch (Sample list, or ColumnarBuf) downstream.
+
+        Columnar batches reach ``accepts_columnar`` consumers as segments;
+        everyone else gets the materialized Sample list (computed at most
+        once per batch) — byte-identical to the scalar pipeline's.
+        """
         if self._faults is not None:
             # lossy ring buffer: the batch the profiler sees may have lost
             # or duplicated a sample (engine accounting is untouched)
+            if type(batch) is not list:
+                batch = batch.materialize()
             batch = self._faults.perturb_batch(batch)
             if not batch:
                 return
+        materialized = batch if type(batch) is list else None
         for obs in self.observers:
             if getattr(obs, "wants_samples", False):
-                for s in batch:
+                if getattr(obs, "accepts_columnar", False):
+                    obs.on_sample_batch(batch)
+                    continue
+                if materialized is None:
+                    materialized = batch.materialize()
+                for s in materialized:
                     obs.on_sample(s)
-        if self.hook is not None and self.sampling_enabled:
-            action = self.hook.on_samples(t, batch)
+        hook = self.hook
+        if hook is not None and self.sampling_enabled:
+            if type(batch) is not list and getattr(hook, "accepts_columnar", False):
+                action = hook.on_samples(t, batch)
+            else:
+                if materialized is None:
+                    materialized = batch.materialize()
+                action = hook.on_samples(t, materialized)
             if action.pause_ns > 0:
                 t.pending_pause_ns += action.pause_ns
             if action.cpu_ns > 0:

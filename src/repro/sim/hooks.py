@@ -54,6 +54,13 @@ NO_ACTION = HookAction()
 class ProfilerHook:
     """Base class for the active profiler. Every method is optional."""
 
+    #: opt-in to columnar sample delivery: when the engine's sample
+    #: pipeline is columnar and this is True, :meth:`on_samples` receives
+    #: the :class:`~repro.sim.sampler.ColumnarBuf` itself (run-length
+    #: segments, timestamps never expanded) instead of a materialized
+    #: ``Sample`` list.  Hooks that leave this False always see lists.
+    accepts_columnar = False
+
     def attach(self, engine) -> None:
         """Called when installed on an engine, before the run starts."""
 
@@ -166,6 +173,13 @@ class Observer:
     #: observer is installed (gprof's per-call instrumentation overhead).
     call_overhead_ns: int = 0
 
+    #: opt-in to whole-batch sample delivery: observers that set this get
+    #: :meth:`on_sample_batch` (with the columnar segment buffer when the
+    #: engine's pipeline is columnar) instead of per-sample
+    #: :meth:`on_sample` calls.  Only consulted for observers that also
+    #: set ``wants_samples``.
+    accepts_columnar = False
+
     def on_run_start(self, engine) -> None: ...
 
     def on_run_end(self, engine) -> None: ...
@@ -176,6 +190,17 @@ class Observer:
 
     def on_sample(self, sample: "Sample") -> None:
         """One IP sample was taken (before batch processing)."""
+
+    def on_sample_batch(self, batch) -> None:
+        """A flushed sample batch (``accepts_columnar`` observers only).
+
+        ``batch`` is a :class:`~repro.sim.sampler.ColumnarBuf` under the
+        columnar pipeline and a ``Sample`` list under the scalar one; the
+        default implementation falls back to per-sample delivery either
+        way (iterating a ColumnarBuf materializes it).
+        """
+        for s in batch:
+            self.on_sample(s)
 
     def on_call(self, thread: "VThread", func: str, caller: str) -> None:
         """Thread entered ``func`` from ``caller`` (PushFrame)."""

@@ -9,17 +9,59 @@ boundaries — the moral equivalent of draining the perf_event ring buffer.
 
 Samples only accrue while a thread is on-CPU: blocked, sleeping, and paused
 threads take no samples, exactly like the real system.
+
+Two pipelines produce bit-identical samples (DESIGN.md §5i):
+
+* **scalar** — the original reference implementation: one
+  :class:`Sample` NamedTuple allocated per sample, buffered in a plain
+  list.  Retained both as the semantic reference (the property tests in
+  ``tests/sim/test_sampler_columnar.py`` compare against it byte for byte)
+  and as a fallback (``REPRO_SAMPLE_PIPELINE=scalar``).
+* **columnar** — structure-of-arrays: each ``account`` call appends one
+  *segment* descriptor to a :class:`ColumnarBuf` (the line/callchain/func
+  are constant across a chunk, so a whole chunk's samples are one
+  run-length-encoded record), and sample timestamps are computed lazily —
+  with numpy int64 vector ops for large segments — only when a consumer
+  actually needs :class:`Sample` tuples.  Hooks and observers that set
+  ``accepts_columnar`` aggregate straight from the segments and never
+  materialize at all.
 """
 
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, List, NamedTuple, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.sim.source import SourceLine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.thread import VThread
+
+
+def _require_numpy():
+    """Import numpy, failing fast with a clear message (see pyproject floor)."""
+    try:
+        import numpy
+    except ImportError as exc:  # pragma: no cover - numpy is a hard dep
+        raise ImportError(
+            "repro's vectorized sample pipeline requires numpy >= 1.22 "
+            "(pip install 'numpy>=1.22')"
+        ) from exc
+    version = getattr(numpy, "__version__", "0")
+    try:
+        parts = tuple(int(p) for p in version.split(".")[:2])
+    except ValueError:  # pragma: no cover - exotic dev versions
+        parts = (99, 99)
+    if parts < (1, 22):  # pragma: no cover - exercised only on old numpy
+        raise ImportError(
+            f"repro's vectorized sample pipeline needs numpy >= 1.22 for "
+            f"stable int64 casting semantics; found numpy {version}. "
+            f"Upgrade numpy or run with REPRO_SAMPLE_PIPELINE=scalar."
+        )
+    return numpy
+
+
+np = _require_numpy()
 
 
 class Sample(NamedTuple):
@@ -37,23 +79,168 @@ class Sample(NamedTuple):
     func: str                      # innermost function name ('' at top level)
 
 
+# --------------------------------------------------------------------- columnar
+
+#: segment kinds (first tuple element of every ColumnarBuf segment)
+SEG_AFFINE = 0    # rate == 1.0: times are base + k*period, k = 1..n
+SEG_RESCALE = 1   # rate != 1.0: times are start_real + int((k*period - accum)*rate)
+SEG_LITERAL = 2   # pre-materialized Samples (snapshot restore)
+
+#: numpy engages only for segments at least this long; smaller segments use
+#: the (byte-identical) scalar loop, whose fixed cost is lower than array
+#: setup.  The property tests sweep sizes on both sides of this threshold.
+VECTOR_MIN = 16
+
+#: int64/float64 safety ceiling for the vector paths.  Beyond ~2^62 the
+#: intermediate ``k*period - accum`` / ``base + k*period`` math can overflow
+#: int64 under numpy, and ``cpu_offset * rate`` loses integer precision in
+#: float64; segments whose values reach this range take the exact
+#: arbitrary-precision scalar path instead (same bytes, no wraparound).
+SAFE_TIME_MAX = 1 << 62
+
+_new = tuple.__new__
+
+
+def _affine_times(n: int, base: int, period: int) -> List[int]:
+    """[base + k*period for k in 1..n], vectorized when it pays off."""
+    if n >= VECTOR_MIN and 0 <= base + n * period < SAFE_TIME_MAX and base > -SAFE_TIME_MAX:
+        return (base + period * np.arange(1, n + 1, dtype=np.int64)).tolist()
+    return [base + k * period for k in range(1, n + 1)]
+
+
+def _rescale_times(
+    n: int, start_real: int, accum_before: int, rate: float, period: int, now: int
+) -> List[int]:
+    """Ceil-rounded rescale timestamps, clamped to the chunk edge ``now``.
+
+    Mirrors the scalar reference exactly: float64 multiply then truncation
+    toward zero.  numpy's int64->float64->int64 round trip performs the
+    identical IEEE-754 double rounding and truncation, so the two paths are
+    byte-identical below :data:`SAFE_TIME_MAX` (the property tests pin this).
+    The clamp guards against float precision drift pushing a sample past the
+    chunk edge at extreme virtual times (``when`` must never exceed ``now``).
+    """
+    if (
+        n >= VECTOR_MIN
+        and 0 <= now < SAFE_TIME_MAX
+        and abs(start_real) < SAFE_TIME_MAX
+        and n * period < SAFE_TIME_MAX
+    ):
+        k = np.arange(1, n + 1, dtype=np.int64)
+        cpu = k * period - accum_before
+        when = start_real + (cpu.astype(np.float64) * rate).astype(np.int64)
+        np.minimum(when, now, out=when)
+        return when.tolist()
+    out = []
+    append = out.append
+    for k in range(1, n + 1):
+        when = start_real + int((k * period - accum_before) * rate)
+        append(when if when <= now else now)
+    return out
+
+
+class ColumnarBuf:
+    """A thread's buffered samples as run-length-encoded segments.
+
+    One segment per ``Sampler.account`` call that produced samples: the
+    sampled line, callchain, and function are constant across a chunk, so
+    only the per-sample *timestamps* vary — and those are affine (or
+    ceil-rescaled) functions of the sample index, stored as parameters and
+    expanded on demand.  ``__iter__``/``materialize`` produce the exact
+    :class:`Sample` tuples the scalar pipeline would have buffered, so
+    consumers that do not understand segments (snapshot capture, hooks
+    without ``accepts_columnar``) see identical bytes.
+    """
+
+    __slots__ = ("segs", "n")
+
+    def __init__(self) -> None:
+        self.segs: List[tuple] = []
+        self.n = 0
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __bool__(self) -> bool:
+        return self.n > 0
+
+    def add_affine(self, n, tid, line, chain, func, base, period) -> None:
+        self.segs.append((SEG_AFFINE, n, tid, line, chain, func, base, period))
+        self.n += n
+
+    def add_rescale(
+        self, n, tid, line, chain, func, start_real, accum_before, rate, period, now
+    ) -> None:
+        self.segs.append(
+            (SEG_RESCALE, n, tid, line, chain, func,
+             start_real, accum_before, rate, period, now)
+        )
+        self.n += n
+
+    def add_literal(self, samples) -> None:
+        """Adopt pre-materialized Samples (snapshot restore)."""
+        samples = list(samples)
+        if samples:
+            self.segs.append((SEG_LITERAL, len(samples), samples))
+            self.n += len(samples)
+
+    def seg_times(self, seg: tuple) -> List[int]:
+        """The segment's sample timestamps, in sample order."""
+        kind = seg[0]
+        if kind == SEG_AFFINE:
+            return _affine_times(seg[1], seg[6], seg[7])
+        if kind == SEG_RESCALE:
+            return _rescale_times(seg[1], seg[6], seg[7], seg[8], seg[9], seg[10])
+        return [s.time for s in seg[2]]
+
+    def materialize(self) -> List[Sample]:
+        """Expand to the exact Sample list the scalar pipeline would hold."""
+        out: List[Sample] = []
+        for seg in self.segs:
+            kind = seg[0]
+            if kind == SEG_LITERAL:
+                out.extend(seg[2])
+                continue
+            _, n, tid, line, chain, func = seg[:6]
+            append = out.append
+            for when in self.seg_times(seg):
+                append(_new(Sample, (when, tid, line, chain, func)))
+        return out
+
+    def __iter__(self) -> Iterator[Sample]:
+        return iter(self.materialize())
+
+
 class Sampler:
     """Generates samples from CPU-time accounting.
 
     The engine calls :meth:`account` every time a thread finishes executing a
     chunk of on-CPU work.  Returns a batch of samples ready for processing
-    (or ``None``), which the engine forwards to the profiler hook.
+    (or ``None``), which the engine forwards to the profiler hook.  With
+    ``columnar=True`` the per-thread buffers are :class:`ColumnarBuf`
+    segment buffers and returned batches are columnar; otherwise they are
+    plain ``Sample`` lists (the scalar reference pipeline).
     """
 
-    def __init__(self, period_ns: int, batch_size: int) -> None:
+    def __init__(self, period_ns: int, batch_size: int, columnar: bool = False) -> None:
         if period_ns <= 0:
             raise ValueError("sample period must be positive")
         if batch_size < 1:
             raise ValueError("batch size must be >= 1")
         self.period_ns = period_ns
         self.batch_size = batch_size
+        self.columnar = bool(columnar)
         #: total samples generated, for overhead accounting and tests
         self.total_samples = 0
+
+    def new_buffer(self, samples=None):
+        """A fresh (or snapshot-rehydrated) per-thread sample buffer."""
+        if not self.columnar:
+            return list(samples) if samples else []
+        buf = ColumnarBuf()
+        if samples:
+            buf.add_literal(samples)
+        return buf
 
     def account(
         self,
@@ -62,7 +249,7 @@ class Sampler:
         now: int,
         allow_flush: bool = True,
         rate: float = 1.0,
-    ) -> Optional[List[Sample]]:
+    ):
         """Accrue ``nominal_ns`` of CPU time to ``thread``; maybe flush a batch.
 
         The thread's current activity line / callchain is captured for every
@@ -84,36 +271,54 @@ class Sampler:
             func = thread.current_func()
             buf = thread.sample_buffer
             tid = thread.tid
-            # tuple.__new__ bypasses NamedTuple's generated __new__; sample
-            # construction is the single hottest allocation in a session
-            new = tuple.__new__
-            if rate == 1.0:
+            if self.columnar:
+                if rate == 1.0:
+                    # fast path: real time == nominal time, no rounding
+                    buf.add_affine(
+                        n, tid, line0, chain, func,
+                        now - nominal_ns - accum_before, period,
+                    )
+                else:
+                    # ceil start rounding: see the scalar path's comment
+                    buf.add_rescale(
+                        n, tid, line0, chain, func,
+                        now - math.ceil(nominal_ns * rate),
+                        accum_before, rate, period, now,
+                    )
+            elif rate == 1.0:
                 # fast path: real time == nominal time, no rounding at all
                 start_real = now - nominal_ns
                 append = buf.append
                 base = start_real - accum_before
                 for k in range(1, n + 1):
-                    append(new(Sample, (base + k * period, tid, line0, chain, func)))
+                    append(_new(Sample, (base + k * period, tid, line0, chain, func)))
             else:
                 # The chunk-completion event was scheduled ceil(nominal*rate)
                 # after the chunk started, so the span start must use the
                 # same ceil rounding: with a floor here, start_real lands up
                 # to 1 ns late and sample times can drift past the chunk
-                # edge (`when > now` for the last sample).
+                # edge (`when > now` for the last sample).  The clamp guards
+                # the residual failure mode: at extreme virtual times (near
+                # 2^62) the float64 product itself drifts by more than the
+                # ceil start absorbs, and a sample must never postdate the
+                # chunk edge it was delivered at.
                 start_real = now - math.ceil(nominal_ns * rate)
+                append = buf.append
                 for k in range(1, n + 1):
                     cpu_offset = k * period - accum_before
                     when = start_real + int(cpu_offset * rate)
-                    buf.append(new(Sample, (when, tid, line0, chain, func)))
+                    if when > now:
+                        when = now
+                    append(_new(Sample, (when, tid, line0, chain, func)))
             self.total_samples += n
         if allow_flush and len(thread.sample_buffer) >= self.batch_size:
             batch = thread.sample_buffer
-            thread.sample_buffer = []
+            thread.sample_buffer = self.new_buffer()
             return batch
         return None
 
-    def drain(self, thread: "VThread") -> List[Sample]:
+    def drain(self, thread: "VThread"):
         """Flush whatever is buffered, regardless of batch size."""
         batch = thread.sample_buffer
-        thread.sample_buffer = []
+        thread.sample_buffer = self.new_buffer()
         return batch
