@@ -12,6 +12,14 @@ Subcommands:
   (:mod:`repro.core.audit`) and print a pass/fail table;
 * ``bench`` — engine throughput microbenchmarks over the fixed app matrix,
   emitting ``BENCH_engine.json`` (:mod:`repro.harness.bench`);
+* ``serve`` — run the multi-tenant profiling daemon
+  (:mod:`repro.harness.service`): a bounded worker pool over a Unix
+  socket, with fingerprint dedup, per-tenant admission control, and
+  restart recovery from its crash-safe queue journal;
+* ``submit`` — submit a profiling job to a running daemon (duplicate
+  submissions coalesce; completed ones are served from the result cache);
+* ``status`` — the daemon's ``/healthz``-style status document;
+* ``shutdown`` — ask a running daemon to stop;
 * ``list`` — list the registered applications.
 
 Apps are resolved through the public :mod:`repro.apps.registry`; the CLI is
@@ -215,6 +223,153 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_socket(args: argparse.Namespace) -> str:
+    import os
+
+    if getattr(args, "socket", None):
+        return args.socket
+    return os.path.join(args.state_dir, "daemon.sock")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.harness.service import ServiceConfig, ServiceDaemon, TenantPolicy
+
+    policy = TenantPolicy(
+        max_queue_depth=args.max_queue_depth,
+        rate_per_s=args.rate,
+        burst=args.burst,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown_s,
+        default_deadline_s=args.default_deadline_s,
+    )
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        workers=args.workers,
+        policy=policy,
+        session_jobs=args.session_jobs,
+        socket_path=args.socket,
+    )
+    try:
+        daemon = ServiceDaemon(config)
+    except OSError as exc:  # no AF_UNIX on this platform
+        raise SystemExit(str(exc))
+    print(f"profiling daemon listening on {config.sock} "
+          f"({args.workers} workers, state in {args.state_dir})")
+    try:
+        daemon.run_forever()
+    except KeyboardInterrupt:
+        print("daemon interrupted, state journaled — restart to recover",
+              file=sys.stderr)
+        return 130
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.harness.service import (
+        JobSpec,
+        ServiceClient,
+        ServiceUnavailableError,
+        WireError,
+    )
+
+    try:
+        spec = JobSpec(
+            tenant=args.tenant,
+            app=args.app,
+            runs=args.runs,
+            base_seed=args.base_seed,
+            experiment_ms=args.experiment_ms,
+            speedup_step=args.speedup_step,
+            chaos=args.chaos,
+            chaos_seed=args.chaos_seed,
+            planner=args.planner,
+            budget=args.budget,
+            deadline_s=args.deadline_s,
+        )
+    except WireError as exc:
+        raise SystemExit(str(exc))
+    client = ServiceClient(_service_socket(args))
+    try:
+        response = client.submit(
+            spec, wait_s=None if args.no_wait else args.timeout_s
+        )
+    except ServiceUnavailableError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(_json.dumps(response, sort_keys=True, indent=2))
+    if not response.get("ok"):
+        if not args.json:
+            print(f"shed: {response.get('message', response.get('error'))}")
+        # sheds are load, not bugs: a distinct exit code lets scripts retry
+        return 75 if response.get("error") == "ServiceOverloadError" else 1
+    if args.json:
+        return 0
+    job_doc = response.get("job") or {}
+    state = response.get("state") or job_doc.get("state")
+    flags = [k for k in ("cached", "dedup") if response.get(k)]
+    suffix = f" ({', '.join(flags)})" if flags else ""
+    job_id = (response.get("job_id") or job_doc.get("job_id")
+              or response.get("fingerprint", "?")[:16])
+    print(f"job {job_id}: {state}{suffix}")
+    result = response.get("result")
+    if result:
+        failures = result.get("failures", [])
+        print(f"  {result['experiments']} experiments, "
+              f"{len(failures)} failed runs"
+              f"{', partial (deadline)' if result.get('partial') else ''}")
+        for row in result.get("top", [])[:3]:
+            print(f"  {row['line']:<24} slope {row['slope']:+.4f}")
+    return 0
+
+
+def cmd_service_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.harness.service import ServiceClient, ServiceUnavailableError
+
+    client = ServiceClient(_service_socket(args))
+    try:
+        doc = client.status()
+    except ServiceUnavailableError as exc:
+        raise SystemExit(str(exc))
+    status = doc.get("status") or {}
+    if args.json:
+        print(_json.dumps(status, sort_keys=True, indent=2))
+    else:
+        workers = status.get("workers", {})
+        queue = status.get("queue", {})
+        cache = status.get("cache", {})
+        print(f"status {status.get('status')}  uptime {status.get('uptime_s')}s  "
+              f"workers {workers.get('alive')}/{workers.get('configured')} "
+              f"({workers.get('busy')} busy)")
+        print(f"queue depth {queue.get('depth')} running {queue.get('running')} "
+              f"latency avg {queue.get('latency_avg_s')}s "
+              f"p95 {queue.get('latency_p95_s')}s")
+        print(f"cache hit-rate {cache.get('hit_rate')} "
+              f"({cache.get('result_hits')} hits / "
+              f"{cache.get('result_misses')} misses, "
+              f"{cache.get('dedup_coalesced')} coalesced)")
+        for tenant, snap in (status.get("tenants") or {}).items():
+            print(f"tenant {tenant:<12} breaker {snap['breaker']:<9} "
+                  f"active {snap['active']} completed {snap['completed']} "
+                  f"degraded {snap['degraded']} shed {snap['shed_total']}")
+    return 0 if status.get("status") == "ok" else 1
+
+
+def cmd_service_shutdown(args: argparse.Namespace) -> int:
+    from repro.harness.service import ServiceClient, ServiceUnavailableError
+
+    client = ServiceClient(_service_socket(args))
+    try:
+        client.shutdown()
+    except ServiceUnavailableError as exc:
+        raise SystemExit(str(exc))
+    print("daemon stopping")
+    return 0
+
+
 def cmd_diff(args: argparse.Namespace) -> int:
     from repro.harness.differential import (
         DiffConfig,
@@ -387,6 +542,87 @@ def main(argv: Optional[list] = None) -> int:
         help="append this run's summary to the document's cross-PR history",
     )
     p.set_defaults(fn=cmd_bench)
+
+    def _add_socket_flags(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--state-dir", default=".repro-service", metavar="DIR",
+            help="daemon state directory (default: ./.repro-service)",
+        )
+        sp.add_argument(
+            "--socket", metavar="PATH", default=None,
+            help="socket path override (default: <state-dir>/daemon.sock)",
+        )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant profiling daemon (Unix socket)",
+    )
+    _add_socket_flags(p)
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker threads draining the job queue (default 2)")
+    p.add_argument(
+        "--session-jobs", type=_jobs_arg, default=1, metavar="N",
+        help="executor worker processes per session (default 1 = in-process)",
+    )
+    p.add_argument("--max-queue-depth", type=int, default=8,
+                   help="per-tenant queued+running job quota (default 8)")
+    p.add_argument("--rate", type=float, default=20.0,
+                   help="per-tenant submissions/second (default 20)")
+    p.add_argument("--burst", type=int, default=40,
+                   help="per-tenant rate-limit burst allowance (default 40)")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive failed/degraded jobs that open a "
+                        "tenant's circuit breaker (default 3)")
+    p.add_argument("--breaker-cooldown-s", type=float, default=30.0,
+                   help="seconds a breaker stays open before one half-open "
+                        "probe is admitted (default 30)")
+    p.add_argument("--default-deadline-s", type=float, default=None,
+                   help="deadline applied to jobs without one (default none)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a profiling job to a running daemon"
+    )
+    p.add_argument("app")
+    _add_socket_flags(p)
+    p.add_argument("--tenant", default="default",
+                   help="tenant the job is accounted under (default: default)")
+    p.add_argument("--runs", type=int, default=8)
+    p.add_argument("--base-seed", type=int, default=0)
+    p.add_argument("--experiment-ms", type=float, default=50.0)
+    p.add_argument("--speedup-step", type=int, default=20)
+    p.add_argument("--planner", choices=PLANNERS, default="static")
+    p.add_argument("--budget", type=int, default=None, metavar="N")
+    p.add_argument("--deadline-s", type=float, default=None,
+                   help="wall-clock budget; an expired job returns its "
+                        "completed prefix (resumable by resubmitting)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="enqueue and return immediately instead of waiting "
+                        "for the result")
+    p.add_argument("--timeout-s", type=float, default=120.0,
+                   help="how long to wait for the result (default 120)")
+    p.add_argument("--json", action="store_true",
+                   help="print the daemon's raw JSON response")
+    p.add_argument(
+        "--chaos", type=float, nargs="?", const=0.25, default=None,
+        metavar="INTENSITY",
+        help="inject the deterministic fault matrix at this per-run "
+             "probability (bare flag = 0.25)",
+    )
+    p.add_argument("--chaos-seed", type=int, default=0, metavar="SEED")
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser(
+        "status", help="print a running daemon's health/status document"
+    )
+    _add_socket_flags(p)
+    p.add_argument("--json", action="store_true",
+                   help="print the raw status document")
+    p.set_defaults(fn=cmd_service_status)
+
+    p = sub.add_parser("shutdown", help="ask a running daemon to stop")
+    _add_socket_flags(p)
+    p.set_defaults(fn=cmd_service_shutdown)
 
     p = sub.add_parser(
         "diff",

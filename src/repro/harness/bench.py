@@ -43,6 +43,16 @@ The matrix covers three apps (example, ferret, sqlite) in seven variants:
     because the resumed sessions are bit-identical, the cell's
     deterministic metrics double as an identity check against the
     ``session`` cell (mismatches warn);
+``service``
+    the profiling-service acceptance cell: a fresh in-process daemon
+    (:mod:`repro.harness.service`) per repeat, timing a cold
+    submit-and-wait round trip over the Unix socket, then duplicate
+    no-wait submissions of a second spec (in-flight dedup), then a warm
+    resubmit of the completed spec (result-cache round trip).  ``extra``
+    records ``cold_submit_s``, ``warm_submit_s``, ``dedup_hit_rate`` and
+    the daemon's own cache/queue counters; ``summary.service`` promotes
+    the warm-submit latency and dedup hit-rate per app.  Skipped (with a
+    warning) on platforms without ``AF_UNIX`` sockets;
 ``planner``
     the adaptive-planner acceptance cell: an untimed static baseline
     session followed by a timed adaptive session (``--planner adaptive``)
@@ -105,6 +115,7 @@ VARIANTS = {
     ),
     "checkpoint": ("session", {}, {}, {"checkpoint": True}),
     "planner": ("planner", {}, {}, {}),
+    "service": ("service", {}, {}, {}),
 }
 
 #: planner-cell per-app profiler overrides: sqlite's default 50 ms
@@ -186,8 +197,11 @@ def default_matrix(quick: bool = False, apps: Optional[List[str]] = None) -> Lis
     identical work): the efficiency comparison needs a static baseline
     long enough to replicate its measurements.
     """
+    import socket as socket_mod
+
     runs = 2 if quick else 5
     repeats = 1 if quick else 3
+    has_unix_sockets = hasattr(socket_mod, "AF_UNIX")
     cells = []
     for app in apps or MATRIX_APPS:
         for variant in VARIANTS:
@@ -195,6 +209,17 @@ def default_matrix(quick: bool = False, apps: Optional[List[str]] = None) -> Lis
                 cells.append(
                     BenchCell(app=app, variant=variant, runs=3 if quick else 8, repeats=1)
                 )
+            elif variant == "service":
+                if not has_unix_sockets:
+                    warnings.warn(
+                        "no AF_UNIX sockets on this platform; skipping the "
+                        "service bench cells",
+                        stacklevel=2,
+                    )
+                    continue
+                # one repeat: each trial spins up (and tears down) its own
+                # daemon, and the deterministic warm/dedup paths don't vary
+                cells.append(BenchCell(app=app, variant=variant, runs=runs, repeats=1))
             else:
                 cells.append(BenchCell(app=app, variant=variant, runs=runs, repeats=repeats))
     return cells
@@ -295,6 +320,82 @@ def _planner_extra(static_out, adaptive_out) -> Dict:
     )
 
 
+def _run_service_cell(cell: BenchCell) -> Dict:
+    """One daemon lifecycle: cold submit, dedup burst, warm resubmit.
+
+    Runs entirely in-process (daemon threads + a real Unix socket in a
+    throwaway state dir), so the timings include genuine wire round trips
+    without any subprocess noise.  Returns the session metrics plus an
+    ``extra`` dict under the ``"extra"`` key.
+    """
+    import shutil
+    import tempfile
+
+    from repro.harness.checkpoint import clear_memory_cache
+    from repro.harness.service import (
+        JobSpec,
+        ServiceClient,
+        ServiceConfig,
+        ServiceDaemon,
+        TenantPolicy,
+    )
+
+    state_dir = tempfile.mkdtemp(prefix="repro-bench-service-")
+    # the cold submit must be genuinely cold: no leftover checkpoint
+    # snapshots from earlier cells
+    clear_memory_cache()
+    daemon = ServiceDaemon(ServiceConfig(
+        state_dir=state_dir,
+        workers=2,
+        policy=TenantPolicy(rate_per_s=1000.0, burst=1000),
+    ))
+    daemon.start()
+    try:
+        client = ServiceClient(daemon.config.sock)
+        if not client.wait_until_ready(10.0):
+            raise RuntimeError("bench service daemon never became ready")
+        spec = JobSpec(tenant="bench", app=cell.app, runs=cell.runs)
+        t0 = time.perf_counter()
+        cold = client.submit(spec, wait_s=600.0)
+        cold_submit_s = time.perf_counter() - t0
+        if not cold.get("ok") or not cold.get("result"):
+            raise RuntimeError(f"bench service cold submit failed: {cold}")
+        result = cold["result"]
+
+        # in-flight dedup: duplicate no-wait submissions of different work
+        dup_spec = JobSpec(tenant="bench", app=cell.app, runs=cell.runs,
+                           base_seed=1000)
+        first = client.submit(dup_spec)
+        dups = [client.submit(dup_spec) for _ in range(3)]
+        if first.get("job_id"):
+            client.wait(first["job_id"], timeout_s=600.0)
+        dedup_hits = sum(1 for d in dups if d.get("dedup") or d.get("cached"))
+
+        # warm resubmit: the content-addressed result cache round trip
+        t0 = time.perf_counter()
+        warm = client.submit(spec, wait_s=600.0)
+        warm_submit_s = time.perf_counter() - t0
+
+        status = client.status().get("status", {})
+        metrics = result.get("metrics", {})
+        return {
+            "virtual_ns": metrics.get("virtual_ns", 0),
+            "events": metrics.get("events", 0),
+            "samples": metrics.get("samples", 0),
+            "extra": {
+                "cold_submit_s": round(cold_submit_s, 4),
+                "warm_submit_s": round(warm_submit_s, 4),
+                "warm_cached": bool(warm.get("cached")),
+                "dedup_hit_rate": round(dedup_hits / len(dups), 3) if dups else None,
+                "cache_hit_rate": status.get("cache", {}).get("hit_rate"),
+                "queue_latency_avg_s": status.get("queue", {}).get("latency_avg_s"),
+            },
+        }
+    finally:
+        daemon.stop()
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
 def _run_program_cell(cell: BenchCell, coz_over: Dict, sim_over: Dict) -> Dict:
     # mirrors harness.parallel._run_task (seed i, profiler seeded the same),
     # with the engine config overridden per variant
@@ -337,6 +438,9 @@ def run_cell(cell: BenchCell) -> CellResult:
         t0 = time.perf_counter()
         if mode == "session":
             metrics = _run_session_cell(cell, coz_over, checkpoint=checkpoint)
+        elif mode == "service":
+            metrics = dict(_run_service_cell(cell))
+            extra = metrics.pop("extra")
         elif mode == "planner":
             spec = registry.build(cell.app)
             out = run_profile_session(spec, _planner_request(cell, spec, adaptive=True))
@@ -385,7 +489,15 @@ def run_bench(
     speedup_vs_legacy = {}
     checkpoint_speedup = {}
     planner_efficiency = {}
+    service_summary = {}
     for app in dict.fromkeys(c.app for c in cells):
+        service = by_name.get(f"{app}/service")
+        if service and service.extra:
+            service_summary[app] = {
+                k: service.extra[k]
+                for k in ("warm_submit_s", "dedup_hit_rate", "cache_hit_rate")
+                if k in service.extra
+            }
         planner = by_name.get(f"{app}/planner")
         if planner and planner.extra:
             planner_efficiency[app] = {
@@ -438,6 +550,7 @@ def run_bench(
             "speedup_vs_legacy": speedup_vs_legacy,
             "checkpoint_speedup": checkpoint_speedup,
             "planner_efficiency": planner_efficiency,
+            "service": service_summary,
             "ferret_session_wall_s": (
                 round(by_name["ferret/session"].wall_s, 4)
                 if "ferret/session" in by_name

@@ -27,6 +27,7 @@ dirty closures), and record fresh checkpoints on the way through.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -35,6 +36,11 @@ import warnings
 from collections import OrderedDict
 from dataclasses import replace
 from typing import Any, Callable, Optional, Tuple
+
+try:  # advisory cross-process locking; POSIX-only, degrades to none
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.harness.journal import canonical
 from repro.sim.snapshot import (
@@ -61,6 +67,41 @@ _MEMORY_CAP = 32
 
 class CheckpointCacheWarning(UserWarning):
     """A checkpoint cache was stale, unreadable, or unwritable."""
+
+
+@contextlib.contextmanager
+def _dir_lock(directory: str):
+    """Advisory exclusive lock on a cache directory's ``.lock`` file.
+
+    Serializes manifest validation/initialization across processes: two
+    workers opening the same cache directory concurrently would otherwise
+    interleave manifest writes (and the loser would see a half-initialized
+    directory and spuriously invalidate it).  Checkpoint *payload* writes
+    do not need the lock — per-file ``os.replace`` is already atomic and
+    snapshots are deterministic per (fingerprint, seed), so concurrent
+    populates are last-writer-wins with identical bytes.
+
+    Degrades to no locking where ``fcntl`` is unavailable or the lock file
+    cannot be created; the caller's own failure handling still applies.
+    """
+    if fcntl is None:
+        yield
+        return
+    fh = None
+    try:
+        fh = open(os.path.join(directory, ".lock"), "a+")
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+    except OSError:
+        fh = None  # locking is best-effort; fall through unlocked
+    try:
+        yield
+    finally:
+        if fh is not None:
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+            except OSError:
+                pass
+            fh.close()
 
 
 def clear_memory_cache() -> None:
@@ -134,39 +175,43 @@ class CheckpointStore:
         d = self.directory
         try:
             os.makedirs(d, exist_ok=True)
-            manifest_path = os.path.join(d, _MANIFEST)
-            manifest = None
-            if os.path.exists(manifest_path):
-                try:
-                    with open(manifest_path, "r", encoding="utf-8") as fh:
-                        manifest = json.load(fh)
-                except (OSError, ValueError):
-                    manifest = {}  # unreadable counts as a mismatch
-            expected = {
-                "schema": _MANIFEST_SCHEMA,
-                "fingerprint": self.key,
-                "snapshot_version": SNAPSHOT_VERSION,
-            }
-            if manifest is not None and manifest != expected:
-                warnings.warn(
-                    f"checkpoint cache {d!r} was built for a different "
-                    f"session configuration or snapshot version; "
-                    f"invalidating it",
-                    CheckpointCacheWarning,
-                    stacklevel=4,
-                )
-                for name in os.listdir(d):
-                    if name.endswith(".ckpt"):
-                        try:
-                            os.unlink(os.path.join(d, name))
-                        except OSError:
-                            pass
-            if manifest != expected:
-                tmp = manifest_path + ".tmp"
-                with open(tmp, "w", encoding="utf-8") as fh:
-                    json.dump(expected, fh, indent=2)
-                    fh.write("\n")
-                os.replace(tmp, manifest_path)
+            # the lock serializes validate-then-initialize across processes:
+            # the loser of a concurrent open blocks until the winner's
+            # manifest is on disk, sees it match, and touches nothing
+            with _dir_lock(d):
+                manifest_path = os.path.join(d, _MANIFEST)
+                manifest = None
+                if os.path.exists(manifest_path):
+                    try:
+                        with open(manifest_path, "r", encoding="utf-8") as fh:
+                            manifest = json.load(fh)
+                    except (OSError, ValueError):
+                        manifest = {}  # unreadable counts as a mismatch
+                expected = {
+                    "schema": _MANIFEST_SCHEMA,
+                    "fingerprint": self.key,
+                    "snapshot_version": SNAPSHOT_VERSION,
+                }
+                if manifest is not None and manifest != expected:
+                    warnings.warn(
+                        f"checkpoint cache {d!r} was built for a different "
+                        f"session configuration or snapshot version; "
+                        f"invalidating it",
+                        CheckpointCacheWarning,
+                        stacklevel=4,
+                    )
+                    for name in os.listdir(d):
+                        if name.endswith(".ckpt"):
+                            try:
+                                os.unlink(os.path.join(d, name))
+                            except OSError:
+                                pass
+                if manifest != expected:
+                    tmp = f"{manifest_path}.tmp.{os.getpid()}"
+                    with open(tmp, "w", encoding="utf-8") as fh:
+                        json.dump(expected, fh, indent=2)
+                        fh.write("\n")
+                    os.replace(tmp, manifest_path)
         except OSError as exc:
             warnings.warn(
                 f"checkpoint cache {d!r} unusable ({exc}); "
@@ -210,6 +255,12 @@ class CheckpointStore:
         if self.directory is None:
             return
         path = self._path(seed)
+        if os.path.exists(path):
+            # snapshots are deterministic per (fingerprint, seed): a file
+            # already on disk has the same bytes this writer would produce,
+            # so a concurrent populate is first-writer-wins and the loser
+            # skips the redundant pickling
+            return
         tmp = f"{path}.tmp.{os.getpid()}"
         try:
             with open(tmp, "wb") as fh:

@@ -120,15 +120,53 @@ class SessionJournal:
 
     @classmethod
     def create(cls, path, fingerprint: Dict[str, Any]) -> "SessionJournal":
-        """Start a fresh journal (truncating any existing file)."""
+        """Start a fresh journal; the file must not already exist.
+
+        Creation is exclusive (``open(..., "x")``): a second writer racing
+        on the same path — two daemon workers picking up one job, or a
+        mistyped ``--journal`` pointing at a finished session — gets a
+        :class:`JournalError` instead of silently truncating the existing
+        records.  Use :meth:`resume` to append to an existing journal, or
+        :meth:`open` for create-or-resume semantics.
+        """
         journal = cls(Path(path), canonical(fingerprint))
-        journal._fh = open(journal.path, "w", encoding="utf-8")
+        try:
+            journal._fh = open(journal.path, "x", encoding="utf-8")
+        except FileExistsError:
+            raise JournalError(
+                f"journal {journal.path} already exists; refusing to "
+                f"truncate it (resume it, or remove the file first)"
+            ) from None
         journal._append({
             "kind": "header",
             "version": JOURNAL_VERSION,
             "fingerprint": journal.fingerprint,
         })
         return journal
+
+    @classmethod
+    def open(cls, path, fingerprint: Dict[str, Any]) -> "SessionJournal":
+        """Create the journal, or resume it when it already exists.
+
+        The create-or-resume race is resolved by the filesystem: exclusive
+        create means exactly one of two concurrent openers creates, and the
+        loser resumes what the winner wrote.  A journal that exists but
+        holds no intact header (a writer died mid-header-write) is removed
+        and recreated — there is nothing in it to preserve.
+        """
+        path = Path(path)
+        if not path.exists():
+            try:
+                return cls.create(path, fingerprint)
+            except JournalError:
+                pass  # lost the create race; fall through to resume
+        try:
+            return cls.resume(path, fingerprint)
+        except JournalError as exc:
+            if "no intact header" not in str(exc) and "is empty" not in str(exc):
+                raise
+            path.unlink()
+            return cls.create(path, fingerprint)
 
     @classmethod
     def resume(cls, path, fingerprint: Dict[str, Any]) -> "SessionJournal":
@@ -249,6 +287,9 @@ def _load(path: Path):
                 f"(undecodable non-final record)"
             )
 
+    if not docs:
+        # the only line was torn: the writer died inside the header write
+        raise JournalError(f"journal {path} has no intact header record")
     header = docs[0]
     if header.get("kind") != "header":
         raise JournalError(f"journal {path} has no header record")

@@ -403,9 +403,12 @@ def _run_task_in_worker(task: RunTask, attempt: int = 0) -> RunOutput:
 def _run_serial(
     tasks: List[RunTask],
     on_output: Optional[Callable[[RunTask, RunOutput], None]] = None,
+    deadline_monotonic: Optional[float] = None,
 ) -> List[RunOutput]:
     outputs = []
     for t in tasks:
+        if deadline_monotonic is not None and time.monotonic() >= deadline_monotonic:
+            break  # deadline passed: return what completed
         out = _run_task(t, keep_objects=True)
         if on_output is not None:
             on_output(t, out)
@@ -576,6 +579,7 @@ def execute_tasks(
     retry: Optional[RetryPolicy] = None,
     watchdog: Optional[Watchdog] = None,
     on_output: Optional[Callable[[RunTask, RunOutput], None]] = None,
+    deadline_monotonic: Optional[float] = None,
 ) -> List[RunOutput]:
     """Run every task, parallel when asked and possible, serial otherwise.
 
@@ -590,6 +594,14 @@ def execute_tasks(
     run in the parent.  A pool that cannot start degrades the whole batch
     to serial with a warning.
 
+    ``deadline_monotonic`` (a ``time.monotonic()`` timestamp) bounds the
+    whole batch: once it passes, no further task starts, in-flight waits
+    are clamped to the remaining time, the pool is torn down, and the
+    completed prefix is returned — so the returned list may be *shorter*
+    than ``tasks``.  The profiling service uses this to propagate a job's
+    deadline into the executor's watchdog.  Without a deadline every task
+    produces an output, exactly as before.
+
     ``on_output`` is invoked once per task with its final output, as soon
     as that output is known — the journal hook.  With an ``audit_report``
     (an :class:`~repro.core.audit.AuditReport`), a sampled subset of worker
@@ -597,15 +609,21 @@ def execute_tasks(
     """
     jobs = resolve_jobs(jobs, len(tasks))
     retry = retry or RetryPolicy()
+
+    def remaining_s() -> Optional[float]:
+        if deadline_monotonic is None:
+            return None
+        return deadline_monotonic - time.monotonic()
+
     if jobs <= 1 or len(tasks) <= 1:
-        return _run_serial(tasks, on_output)
+        return _run_serial(tasks, on_output, deadline_monotonic)
 
     if not all(_picklable(t) for t in tasks):
         _warn(
             "profiling tasks are not picklable (closure-based program factory "
             "not in the app registry); running serially"
         )
-        return _run_serial(tasks, on_output)
+        return _run_serial(tasks, on_output, deadline_monotonic)
 
     try:
         pool = ProcessPoolExecutor(max_workers=jobs)
@@ -613,7 +631,7 @@ def execute_tasks(
         raise
     except Exception as exc:  # no fork support, no semaphores, ...
         _warn(f"could not start process pool ({exc!r}); running serially")
-        return _run_serial(tasks, on_output)
+        return _run_serial(tasks, on_output, deadline_monotonic)
 
     session = _PoolSession(tasks, jobs, retry)
     session.pool = pool
@@ -632,20 +650,37 @@ def execute_tasks(
             )
         finish(task, _run_task(task, keep_objects=True))
 
+    expired = False
     try:
         session.submit_unfinished()
         for task in tasks:
             while task.index not in session.outputs:
+                rem = remaining_s()
+                if rem is not None and rem <= 0:
+                    # deadline passed: keep what finished, reclaim the
+                    # workers, and hand the partial batch back
+                    expired = True
+                    session.harvest_done()
+                    session.shutdown(now=True)
+                    session.dead = True
+                    break
                 if session.dead or session.breaker_open:
                     run_in_parent(task)
                     break
                 fut = session.futures[task.index]
                 wait_s = timeout if timeout is not None else watchdog.deadline_s()
+                if rem is not None:
+                    wait_s = min(wait_s, rem)
                 try:
                     out = fut.result(timeout=wait_s)
                 except (KeyboardInterrupt, SystemExit):
                     raise
                 except (_FutureTimeout, TimeoutError):
+                    rem = remaining_s()
+                    if rem is not None and rem <= 0:
+                        # the wait was clamped to the deadline, not the
+                        # watchdog bound: this is expiry, not a hang
+                        continue
                     err = WorkerHungError(
                         f"worker exceeded its {wait_s:.1f}s deadline",
                         deadline_s=wait_s,
@@ -686,6 +721,8 @@ def execute_tasks(
                     if not out.failed:
                         watchdog.observe(out.wall_s)
                     finish(task, out)
+            if expired:
+                break
     except (KeyboardInterrupt, SystemExit):
         # never swallow an interrupt — reclaim the workers and re-raise;
         # journaled records are already fsync'd, so the session is resumable
@@ -697,4 +734,4 @@ def execute_tasks(
             session.shutdown(now=False)
     if audit_report is not None:
         _audit_identity(tasks, session.outputs, audit_report)
-    return [session.outputs[t.index] for t in tasks]
+    return [session.outputs[t.index] for t in tasks if t.index in session.outputs]

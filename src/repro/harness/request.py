@@ -53,6 +53,14 @@ class ExecutionConfig:
     #: optional on-disk checkpoint cache shared across processes/sessions;
     #: ``None`` = in-memory only
     checkpoint_dir: Optional[str] = None
+    #: soft wall-clock budget for the whole session, in seconds: once it
+    #: passes, no new run starts, parallel waits are clamped to the
+    #: remainder, and the session returns the completed prefix with
+    #: :attr:`~repro.harness.runner.ProfileOutcome.deadline_exceeded` set.
+    #: Execution-only — a journaled session cut off at its deadline resumes
+    #: bit-identically.  The profiling service uses this to propagate each
+    #: job's deadline into the executor watchdog.
+    deadline_s: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -194,6 +202,10 @@ class ProfileRequest:
     @property
     def checkpoint_dir(self) -> Optional[str]:
         return self.execution.checkpoint_dir
+
+    @property
+    def deadline_s(self) -> Optional[float]:
+        return self.execution.deadline_s
 
     @property
     def faults(self) -> Optional[FaultPlan]:

@@ -36,6 +36,7 @@ keyword-style wrappers.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
@@ -85,6 +86,11 @@ class ProfileOutcome:
     #: how the planner spent the session (always present; the static
     #: planner reports one round of uniform spend)
     plan: Optional[PlanReport] = None
+    #: the session's :attr:`~repro.harness.request.ExecutionConfig.
+    #: deadline_s` passed before every scheduled run completed; the
+    #: outcome holds only the completed prefix (a journaled session is
+    #: resumable from exactly this point)
+    deadline_exceeded: bool = False
 
     @property
     def experiment_count(self) -> int:
@@ -250,6 +256,16 @@ def run_profile_session(
     #: non-replayed runs the session may still execute (None = unlimited)
     fresh_budget = request.stop_after_runs
     stopped = False
+    deadline_exceeded = False
+    deadline_monotonic = None
+    if request.execution.deadline_s is not None:
+        deadline_monotonic = time.monotonic() + request.execution.deadline_s
+
+    def _deadline_passed() -> bool:
+        return (
+            deadline_monotonic is not None
+            and time.monotonic() >= deadline_monotonic
+        )
 
     try:
         while not stopped and not planner.done():
@@ -275,6 +291,7 @@ def run_profile_session(
                 audit_report=audit_report if request.jobs != 1 else None,
                 retry=request.retry,
                 on_output=on_output,
+                deadline_monotonic=deadline_monotonic,
             )
             for out in executed:
                 outputs[out.index] = out
@@ -283,9 +300,12 @@ def run_profile_session(
             for plan in plans:
                 out = outputs.get(plan.index) or replayed.get(plan.index)
                 if out is None:
-                    # stop_after_runs exhausted mid-batch: return the
-                    # partial session (the journal has what completed)
+                    # stop_after_runs exhausted mid-batch, or the deadline
+                    # cut the batch short: return the partial session (the
+                    # journal has what completed)
                     stopped = True
+                    if _deadline_passed():
+                        deadline_exceeded = True
                     continue
                 merged += 1
                 if out.failed:
@@ -325,6 +345,7 @@ def run_profile_session(
         run_results=run_results,
         audit=audit_report,
         plan=planner.report(),
+        deadline_exceeded=deadline_exceeded,
     )
 
 

@@ -159,3 +159,43 @@ class WorkerHungError(RunFaultedError):
     def __init__(self, message: str, deadline_s: Optional[float] = None) -> None:
         super().__init__(message)
         self.deadline_s = deadline_s
+
+
+class ServiceError(RunFaultedError):
+    """Base of the profiling-service taxonomy (:mod:`repro.harness.service`).
+
+    Service errors describe why the *daemon* could not (or would not) run a
+    job: admission control shed it, its deadline passed, or the service is
+    shutting down.  They are per-request outcomes, never session-fatal — a
+    shed request degrades that tenant's request, not the daemon.
+    """
+
+
+class ServiceOverloadError(ServiceError):
+    """A request was shed by admission control.
+
+    ``reason`` names the control that fired — ``"queue-depth"`` (the
+    tenant's pending-job quota is full), ``"rate-limit"`` (the tenant's
+    token bucket is empty), or ``"circuit-breaker"`` (the tenant's recent
+    jobs kept failing and the breaker is open).  Shedding is always
+    per-tenant: one tenant's chaos never sheds another's requests.
+    """
+
+    def __init__(self, message: str, tenant: str = "", reason: str = "") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+
+
+class DeadlineExceededError(ServiceError):
+    """A job's deadline passed before it could finish.
+
+    Raised when a queued job expires before a worker picks it up, and
+    recorded when a running session is stopped at its deadline (the session
+    journal keeps every completed run, so resubmitting the same request
+    resumes where the deadline cut it off).
+    """
+
+    def __init__(self, message: str, deadline_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.deadline_s = deadline_s

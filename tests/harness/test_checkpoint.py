@@ -213,3 +213,60 @@ def test_parallel_session_resumes_from_disk_cache(tmp_path):
     clear_memory_cache()
     warm = _session(jobs=2, checkpoint=True, checkpoint_dir=d)
     assert warm.data == cold.data
+
+
+# -- cross-process coordination ----------------------------------------------
+
+
+def _concurrent_open_and_put(directory, key, barrier, errors, idx):
+    """Worker for the multiprocessing dedup test: every process opens the
+    same cache directory at the same instant, then races to populate the
+    same seeds (first-writer-wins on disk)."""
+    try:
+        barrier.wait(timeout=30)
+        store = CheckpointStore(key, directory=directory)
+        for seed in range(4):
+            store.put(seed, _dummy_snapshot(seed, when=seed * 10))
+        for seed in range(4):
+            snap = store.get(seed)
+            assert snap is not None and snap.when == seed * 10
+    except BaseException as exc:  # report, don't hang the parent
+        errors.put(f"worker {idx}: {type(exc).__name__}: {exc}")
+
+
+@pytest.mark.skipif(os.name != "posix", reason="fork start method required")
+def test_concurrent_processes_share_one_disk_cache(tmp_path):
+    """N real processes open/validate/populate one cache concurrently: the
+    advisory lock serializes manifest initialization, puts dedup
+    first-writer-wins, and nothing corrupts."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    d = str(tmp_path / "cache")
+    n = 4
+    barrier = ctx.Barrier(n)
+    errors = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_concurrent_open_and_put, args=(d, "shared-key", barrier, errors, i)
+        )
+        for i in range(n)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    assert errors.empty(), errors.get()
+
+    # exactly one coherent cache came out the other side
+    manifest = json.load(open(os.path.join(d, "MANIFEST.json")))
+    assert manifest["fingerprint"] == "shared-key"
+    ckpts = sorted(f for f in os.listdir(d) if f.endswith(".ckpt"))
+    assert ckpts == [f"seed-{i}.ckpt" for i in range(4)]
+    # no leftover temp files from racing manifest/snapshot writers
+    assert not [f for f in os.listdir(d) if ".tmp" in f]
+    clear_memory_cache()
+    for seed in range(4):
+        snap = CheckpointStore("shared-key", directory=d).get(seed)
+        assert snap is not None and snap.when == seed * 10

@@ -230,3 +230,58 @@ def test_resume_refuses_other_apps_journal(tmp_path):
     run_profile_session(registry.build("example"), ProfileRequest(runs=2, journal=path))
     with pytest.raises(JournalError, match="different session"):
         run_profile_session(registry.build("ferret"), ProfileRequest(runs=2, resume=path))
+
+
+# -- exclusive create / create-or-resume -----------------------------------------
+
+
+def test_create_refuses_to_truncate_existing_journal(tmp_path):
+    """Regression: create() used mode "w", so pointing a fresh session at a
+    finished journal silently erased every fsync'd record.  Creation is
+    exclusive now — the existing file survives and the error is typed."""
+    path = tmp_path / "session.jsonl"
+    with SessionJournal.create(path, FP) as j:
+        _run_record(j, 0)
+    with pytest.raises(JournalError, match="refusing to truncate"):
+        SessionJournal.create(path, FP)
+    resumed = SessionJournal.resume(path, FP)
+    try:
+        assert sorted(resumed.completed(DEFAULT_SEGMENT)) == [0]
+    finally:
+        resumed.close()
+
+
+def test_open_creates_fresh_then_resumes_existing(tmp_path):
+    path = tmp_path / "session.jsonl"
+    with SessionJournal.open(path, FP) as j:  # no file yet: creates
+        _run_record(j, 0)
+    with SessionJournal.open(path, FP) as j:  # file exists: resumes
+        assert sorted(j.completed(DEFAULT_SEGMENT)) == [0]
+        _run_record(j, 1)
+    resumed = SessionJournal.resume(path, FP)
+    try:
+        assert sorted(resumed.completed(DEFAULT_SEGMENT)) == [0, 1]
+    finally:
+        resumed.close()
+
+
+def test_open_replaces_headerless_journal(tmp_path):
+    # a writer that died between exclusive create and the header fsync
+    # leaves an empty file: nothing to preserve, recreate it
+    path = tmp_path / "session.jsonl"
+    path.write_text("")
+    with SessionJournal.open(path, FP) as j:
+        _run_record(j, 0)
+    resumed = SessionJournal.resume(path, FP)
+    try:
+        assert sorted(resumed.completed(DEFAULT_SEGMENT)) == [0]
+    finally:
+        resumed.close()
+
+
+def test_open_still_refuses_other_sessions_journal(tmp_path):
+    # create-or-resume must not weaken the fingerprint guard
+    path = tmp_path / "session.jsonl"
+    SessionJournal.create(path, FP).close()
+    with pytest.raises(JournalError, match="different session"):
+        SessionJournal.open(path, {**FP, "runs": 99})

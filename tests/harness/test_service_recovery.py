@@ -1,0 +1,192 @@
+"""Daemon crash recovery: SIGKILL mid-job, restart, bit-identical result.
+
+The strongest robustness claim the service makes: a daemon killed with
+SIGKILL partway through a session recovers it on restart — the queue
+journal re-enqueues the job, the session journal replays the completed
+runs, and the finished result is byte-for-byte identical to a result
+produced by an uninterrupted daemon.
+
+These tests run real daemon subprocesses via ``python -m repro.cli serve``
+so the kill is a genuine process kill, not a simulated one.
+"""
+
+import json
+import os
+import signal
+import socket as socket_mod
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.harness.service import (
+    JobSpec,
+    ServiceClient,
+    ServiceConfig,
+    ServiceDaemon,
+    TenantPolicy,
+    job_fingerprint,
+)
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket_mod, "AF_UNIX"),
+    reason="no AF_UNIX sockets on this platform",
+)
+
+#: long enough that the daemon cannot finish before the kill lands
+SPEC = dict(tenant="crash", app="example", runs=10, experiment_ms=25.0)
+
+
+def _spawn_daemon(state_dir: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--state-dir", state_dir, "--workers", "1"],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_for_file_lines(path: str, min_lines: int, timeout_s: float) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                if sum(1 for _ in fh) >= min_lines:
+                    return True
+        except OSError:
+            pass
+        time.sleep(0.01)
+    return False
+
+
+def _canonical(doc: dict) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def _control_result(tmp_path, spec: JobSpec) -> dict:
+    """The same job, run by an uninterrupted in-process daemon."""
+    from repro.harness.checkpoint import clear_memory_cache
+
+    clear_memory_cache()
+    daemon = ServiceDaemon(ServiceConfig(
+        state_dir=str(tmp_path / "control-state"),
+        workers=1,
+        policy=TenantPolicy(rate_per_s=1000.0, burst=1000),
+    ))
+    daemon.start()
+    try:
+        client = ServiceClient(daemon.config.sock)
+        assert client.wait_until_ready(10.0)
+        response = client.submit(spec, wait_s=300.0)
+        assert response.get("ok") and response.get("result"), response
+        return response["result"]
+    finally:
+        daemon.stop()
+
+
+def test_sigkill_mid_job_restart_recovers_bit_identically(tmp_path):
+    state_dir = str(tmp_path / "state")
+    spec = JobSpec(**SPEC)
+    fp = job_fingerprint(spec)
+    job_journal = os.path.join(state_dir, "jobs", f"{fp}.jsonl")
+
+    proc = _spawn_daemon(state_dir)
+    try:
+        client = ServiceClient(os.path.join(state_dir, "daemon.sock"))
+        assert client.wait_until_ready(30.0), "daemon never came up"
+        submitted = client.submit(spec)
+        assert submitted["ok"], submitted
+
+        # wait for the header + at least one fsync'd run record, then
+        # SIGKILL the daemon mid-session: no cleanup, no atexit, nothing
+        assert _wait_for_file_lines(job_journal, 2, timeout_s=60.0), \
+            "session journal never recorded a run"
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30.0)
+
+    # the queue journal has the submit but no terminal record
+    with open(os.path.join(state_dir, "queue.jsonl"), "r") as fh:
+        kinds = [json.loads(line)["kind"] for line in fh if line.strip()]
+    assert "submit" in kinds and "terminal" not in kinds
+
+    # restart over the same state dir: the job must recover and finish
+    proc = _spawn_daemon(state_dir)
+    try:
+        client = ServiceClient(os.path.join(state_dir, "daemon.sock"))
+        assert client.wait_until_ready(30.0), "restarted daemon never came up"
+        status = client.status()["status"]
+        assert status["jobs"]["recovered"] == 1
+
+        recovered = None
+        deadline = time.monotonic() + 300.0
+        while time.monotonic() < deadline:
+            response = client.result(fp)
+            if response.get("ok"):
+                recovered = response["result"]
+                break
+            time.sleep(0.2)
+        assert recovered is not None, "recovered job never produced a result"
+        assert not recovered["degraded"]
+    finally:
+        try:
+            ServiceClient(os.path.join(state_dir, "daemon.sock")).shutdown()
+        except Exception:
+            pass
+        if proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=30.0)
+
+    # the journal-replayed result is byte-identical to an uninterrupted run
+    control = _control_result(tmp_path, spec)
+    assert _canonical(recovered) == _canonical(control)
+
+
+def test_restart_with_clean_journal_recovers_nothing(tmp_path):
+    daemon = ServiceDaemon(ServiceConfig(
+        state_dir=str(tmp_path / "state"),
+        workers=1,
+        policy=TenantPolicy(rate_per_s=1000.0, burst=1000),
+    ))
+    daemon.start()
+    try:
+        client = ServiceClient(daemon.config.sock)
+        assert client.wait_until_ready(10.0)
+        r = client.submit(
+            JobSpec(tenant="t", app="example", runs=2, experiment_ms=10.0),
+            wait_s=120.0,
+        )
+        assert r["ok"] and r["result"]["state"] == "done"
+    finally:
+        daemon.stop()
+    # every journaled submit reached a terminal record, so a second daemon
+    # over the same state dir re-enqueues nothing (and serves the cache)
+    second = ServiceDaemon(ServiceConfig(
+        state_dir=str(tmp_path / "state"),
+        workers=1,
+        policy=TenantPolicy(rate_per_s=1000.0, burst=1000),
+    ))
+    second.start()
+    try:
+        client = ServiceClient(second.config.sock)
+        assert client.wait_until_ready(10.0)
+        status = client.status()["status"]
+        assert status["jobs"]["recovered"] == 0
+        again = client.submit(
+            JobSpec(tenant="t", app="example", runs=2, experiment_ms=10.0)
+        )
+        assert again["cached"]
+    finally:
+        second.stop()
