@@ -40,6 +40,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import time
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -145,28 +146,52 @@ class SessionJournal:
         return journal
 
     @classmethod
-    def open(cls, path, fingerprint: Dict[str, Any]) -> "SessionJournal":
+    def open(
+        cls, path, fingerprint: Dict[str, Any], grace_s: float = 0.5
+    ) -> "SessionJournal":
         """Create the journal, or resume it when it already exists.
 
         The create-or-resume race is resolved by the filesystem: exclusive
         create means exactly one of two concurrent openers creates, and the
-        loser resumes what the winner wrote.  A journal that exists but
-        holds no intact header (a writer died mid-header-write) is removed
-        and recreated — there is nothing in it to preserve.
+        loser resumes what the winner wrote.
+
+        A journal that exists but holds no intact header is ambiguous: the
+        winner of a concurrent create may simply not have flushed its
+        header line yet, or a past writer died mid-header-write.  Unlinking
+        immediately would delete a *live* writer's file and recreate the
+        path, putting two writers on one journal — the exact truncation
+        hazard exclusive create exists to prevent.  So resume is retried
+        for ``grace_s`` first; only a file still headerless after the whole
+        grace window (orders of magnitude longer than a header fsync) is
+        declared a dead writer's debris and reclaimed.
         """
         path = Path(path)
-        if not path.exists():
+        deadline = time.monotonic() + grace_s
+        while True:
+            if not path.exists():
+                try:
+                    return cls.create(path, fingerprint)
+                except JournalError:
+                    continue  # lost the create race; resume the winner's file
             try:
-                return cls.create(path, fingerprint)
-            except JournalError:
-                pass  # lost the create race; fall through to resume
+                return cls.resume(path, fingerprint)
+            except JournalError as exc:
+                msg = str(exc)
+                headerless = (
+                    "no intact header" in msg
+                    or "is empty" in msg
+                    or "does not exist" in msg
+                )
+                if not headerless:
+                    raise
+                if time.monotonic() >= deadline:
+                    break
+                time.sleep(0.02)
         try:
-            return cls.resume(path, fingerprint)
-        except JournalError as exc:
-            if "no intact header" not in str(exc) and "is empty" not in str(exc):
-                raise
             path.unlink()
-            return cls.create(path, fingerprint)
+        except OSError:
+            pass
+        return cls.create(path, fingerprint)
 
     @classmethod
     def resume(cls, path, fingerprint: Dict[str, Any]) -> "SessionJournal":

@@ -23,7 +23,12 @@ quarantined tenant is shed even for cached results, so its traffic stops
 entirely until the half-open probe), then result-store cache, then
 in-flight dedup coalescing (free: no quota or rate token consumed), then
 queue-depth quota, then the rate limit.  Only submissions that enqueue
-*new* work pay capacity.
+*new* work pay capacity.  The fingerprint is reserved in the dedup index
+*inside* the admission critical section (before the queue journal fsync),
+so two racing duplicates can never both enqueue; and a half-open breaker
+probe that resolves without running a job — cache hit, capacity shed, or
+a verdict-less terminal state — returns its probe slot rather than
+leaving the tenant quarantined with no outcome ever coming.
 
 **Recovery**: every accepted job is journaled to ``queue.jsonl`` before it
 enqueues and again when it settles.  On restart, jobs with a ``submit``
@@ -242,6 +247,14 @@ class ServiceDaemon:
                 submitted_monotonic=self._clock(),
                 recovered=True,
             )
+            # re-arm the wall-clock budget the original submission carried
+            # (or the policy default) — without this a recovered job runs
+            # unbounded after a restart
+            deadline_s = spec.deadline_s
+            if deadline_s is None:
+                deadline_s = self.config.policy.default_deadline_s
+            if deadline_s is not None:
+                job.deadline_monotonic = time.monotonic() + deadline_s
             with self._lock:
                 for tenant in job.tenants:
                     self.admission.tenant(tenant).active += 1
@@ -256,11 +269,16 @@ class ServiceDaemon:
         with self._lock:
             state = self.admission.tenant(spec.tenant)
             state.counters["submitted"] += 1
-            # 1. breaker: a quarantined tenant gets nothing, cached or not
-            self.admission.check_breaker(state)
+            # 1. breaker: a quarantined tenant gets nothing, cached or not.
+            # A consumed half-open probe must be given back on every path
+            # that resolves without running a job, or the breaker would be
+            # stuck half-open (shedding) with no probe outcome ever coming.
+            probe = self.admission.check_breaker(state)
             # 2. completed before: serve the content-addressed result
             cached = self.results.get(fp)
             if cached is not None:
+                if probe:
+                    state.breaker.release_probe()
                 state.counters["cache_hits"] += 1
                 return {
                     "ok": True,
@@ -269,7 +287,9 @@ class ServiceDaemon:
                     "cached": True,
                     "result": cached,
                 }
-            # 3. in flight: coalesce (free — no quota, no rate token)
+            # 3. in flight: coalesce (free — no quota, no rate token).  The
+            # probe stays consumed here: this tenant joins the job's
+            # subscriber list, so its settle feeds the breaker a verdict.
             active = self.queue.active(fp)
             if active is not None:
                 active.dedup_count += 1
@@ -286,7 +306,12 @@ class ServiceDaemon:
                     "dedup": True,
                 }
             # 4. + 5. genuinely new work: pay quota and rate
-            self.admission.check_capacity(state)
+            try:
+                self.admission.check_capacity(state)
+            except ServiceOverloadError:
+                if probe:
+                    state.breaker.release_probe()
+                raise
             job = Job(
                 job_id=self.queue.next_job_id(fp),
                 fingerprint=fp,
@@ -300,13 +325,27 @@ class ServiceDaemon:
             if deadline_s is not None:
                 job.deadline_monotonic = time.monotonic() + deadline_s
             state.active += 1
-        self._journal_event({
-            "kind": "submit",
-            "fingerprint": fp,
-            "spec": spec.to_wire(),
-            "tenants": job.tenants,
-        })
-        self.queue.put(job)
+            # reserve the fingerprint before releasing the lock: a
+            # concurrent duplicate arriving during the journal fsync below
+            # coalesces onto this job instead of enqueueing a second
+            # execution of the same session journal
+            self.queue.reserve(job)
+        try:
+            self._journal_event({
+                "kind": "submit",
+                "fingerprint": fp,
+                "spec": spec.to_wire(),
+                "tenants": job.tenants,
+            })
+        except BaseException:
+            with self._lock:
+                roll = self.admission.tenant(spec.tenant)
+                roll.active = max(0, roll.active - 1)
+                if probe:
+                    roll.breaker.release_probe()
+                self.queue.unreserve(job)
+            raise
+        self.queue.enqueue(job)
         return {
             "ok": True,
             "fingerprint": fp,
@@ -424,6 +463,11 @@ class ServiceDaemon:
                 breaker_failure: bool = False,
                 shed_reason: Optional[str] = None) -> None:
         with self._lock:
+            # retire the dedup entry inside the same critical section that
+            # unwinds quota accounting: a submit between the decrement and
+            # the entry's removal would coalesce onto this settled job and
+            # increment an active count nothing would ever decrement
+            self.queue.retire(job)
             for tenant in job.tenants:
                 tstate = self.admission.tenant(tenant)
                 tstate.active = max(0, tstate.active - 1)
@@ -439,6 +483,11 @@ class ServiceDaemon:
                     tstate.breaker.record_failure()
                 elif state in ("done", "degraded"):
                     tstate.breaker.record_success()
+                else:
+                    # shed or interrupted: no verdict on tenant health —
+                    # if this job was the half-open probe, return the slot
+                    # so the tenant is not quarantined forever
+                    tstate.breaker.release_probe()
         # journal the terminal state BEFORE releasing waiters: once a
         # client sees the job settle, a restart must not re-run it
         self._journal_event({

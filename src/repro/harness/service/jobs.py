@@ -115,12 +115,48 @@ class JobQueue:
         with self._cond:
             return self.by_fingerprint.get(fingerprint)
 
-    def put(self, job: Job) -> None:
+    def reserve(self, job: Job) -> None:
+        """Register a job in the dedup indexes without making it runnable.
+
+        The daemon reserves inside its admission critical section — after
+        the ``active()`` check, before releasing its state lock — so a
+        concurrent duplicate submission coalesces onto this job instead of
+        enqueueing a second execution while the queue journal is still
+        being fsync'd.  :meth:`enqueue` (called once the journal record is
+        durable) hands the job to the workers.
+        """
         with self._cond:
             self.by_id[job.job_id] = job
             self.by_fingerprint[job.fingerprint] = job
+
+    def enqueue(self, job: Job) -> None:
+        """Make a reserved job runnable (workers may now take it)."""
+        with self._cond:
             self._fifo.append(job)
             self._cond.notify()
+
+    def unreserve(self, job: Job) -> None:
+        """Roll back a reservation whose submission failed before enqueue."""
+        with self._cond:
+            if self.by_fingerprint.get(job.fingerprint) is job:
+                del self.by_fingerprint[job.fingerprint]
+            self.by_id.pop(job.job_id, None)
+
+    def put(self, job: Job) -> None:
+        self.reserve(job)
+        self.enqueue(job)
+
+    def retire(self, job: Job) -> None:
+        """Drop the job's dedup index entry ahead of settling it.
+
+        The daemon retires inside the same critical section that unwinds
+        the job's tenant quota accounting, so no submission can coalesce
+        onto a job whose active counts have already been decremented (the
+        coalesce would increment a count nothing would ever decrement).
+        """
+        with self._cond:
+            if self.by_fingerprint.get(job.fingerprint) is job:
+                del self.by_fingerprint[job.fingerprint]
 
     def take(self, timeout: Optional[float] = None) -> Optional[Job]:
         """Block for the next queued job; ``None`` on shutdown/timeout."""

@@ -137,6 +137,19 @@ class CircuitBreaker:
             self.state = self.OPEN
             self._opened_at = self._clock()
 
+    def release_probe(self) -> None:
+        """Return an unused half-open probe slot.
+
+        The admitted probe never became a job (the submission resolved as
+        a cache hit, was shed on capacity, or its job ended without a
+        health verdict), so no ``record_*`` call will ever arrive for it.
+        Re-open *without* restarting the cooldown — the elapsed cooldown
+        still counts, so the very next submission is re-admitted as a new
+        probe instead of the tenant being quarantined forever.
+        """
+        if self.state == self.HALF_OPEN:
+            self.state = self.OPEN
+
 
 @dataclass
 class TenantState:
@@ -210,10 +223,18 @@ class AdmissionController:
             self.tenants[tenant_id] = state
         return state
 
-    def check_breaker(self, state: TenantState) -> None:
+    def check_breaker(self, state: TenantState) -> bool:
         """Shed when the tenant's breaker is open (checked first: a
         quarantined tenant is shed even for cached results, so its traffic
-        stops hitting the service until the cooldown probe succeeds)."""
+        stops hitting the service until the cooldown probe succeeds).
+
+        Returns True when this admission consumed the tenant's half-open
+        probe slot — the caller must either let a job run to completion
+        (feeding ``record_success``/``record_failure``) or give the slot
+        back with :meth:`CircuitBreaker.release_probe` if the submission
+        resolves without executing anything.
+        """
+        was_open = state.breaker.state == CircuitBreaker.OPEN
         if not state.breaker.allow():
             state.counters["shed_circuit_breaker"] += 1
             raise ServiceOverloadError(
@@ -224,6 +245,7 @@ class AdmissionController:
                 tenant=state.tenant,
                 reason="circuit-breaker",
             )
+        return was_open and state.breaker.state == CircuitBreaker.HALF_OPEN
 
     def check_capacity(self, state: TenantState) -> None:
         """Shed when the tenant is over quota or over rate (checked only

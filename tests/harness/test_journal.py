@@ -267,11 +267,56 @@ def test_open_creates_fresh_then_resumes_existing(tmp_path):
 
 def test_open_replaces_headerless_journal(tmp_path):
     # a writer that died between exclusive create and the header fsync
-    # leaves an empty file: nothing to preserve, recreate it
+    # leaves an empty file: nothing to preserve, recreate it (after the
+    # grace window that guards against a live concurrent creator)
     path = tmp_path / "session.jsonl"
     path.write_text("")
-    with SessionJournal.open(path, FP) as j:
+    with SessionJournal.open(path, FP, grace_s=0.05) as j:
         _run_record(j, 0)
+    resumed = SessionJournal.resume(path, FP)
+    try:
+        assert sorted(resumed.completed(DEFAULT_SEGMENT)) == [0]
+    finally:
+        resumed.close()
+
+
+def test_open_waits_for_concurrent_creators_header(tmp_path):
+    """Regression: open() treated 'no intact header' as a dead writer and
+    unlinked immediately — but the loser of the create race can observe
+    the winner's file before the winner's header line is flushed, and the
+    unlink put two live writers on the same path.  open() now retries
+    resume through a grace window instead."""
+    import os
+    import threading
+    import time as time_mod
+
+    path = tmp_path / "session.jsonl"
+    # the "winner": holds the exclusively-created file, header not yet written
+    winner = open(path, "x", encoding="utf-8")
+    winner_ino = os.fstat(winner.fileno()).st_ino
+
+    def flush_header():
+        time_mod.sleep(0.1)
+        winner.write(json.dumps({
+            "kind": "header", "version": 1, "fingerprint": canonical(FP),
+        }) + "\n")
+        winner.flush()
+
+    t = threading.Thread(target=flush_header)
+    t.start()
+    try:
+        loser = SessionJournal.open(path, FP, grace_s=5.0)
+    finally:
+        t.join()
+    try:
+        # the loser resumed the winner's live file — same inode, never
+        # unlinked and recreated out from under the winner
+        assert os.stat(path).st_ino == winner_ino
+        assert loser.records == []
+        _run_record(loser, 0)
+    finally:
+        loser.close()
+        winner.close()
     resumed = SessionJournal.resume(path, FP)
     try:
         assert sorted(resumed.completed(DEFAULT_SEGMENT)) == [0]

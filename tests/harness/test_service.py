@@ -160,6 +160,148 @@ def test_admission_sheds_are_typed_and_counted():
     assert snap["shed_total"] == 3
 
 
+# -- admission races (no sockets: daemon used as a library, never started) ----
+
+
+def _lib_daemon(tmp_path, clock=None, **policy_kw):
+    """A daemon instance for unit-testing submit/settle without start()."""
+    policy = TenantPolicy(**{
+        "rate_per_s": 1000.0, "burst": 1000, **policy_kw,
+    })
+    config = ServiceConfig(state_dir=str(tmp_path / "state"), workers=1,
+                           policy=policy)
+    if clock is None:
+        return ServiceDaemon(config)
+    return ServiceDaemon(config, clock=clock)
+
+
+def test_duplicate_during_journal_fsync_coalesces_not_double_enqueues(tmp_path):
+    """Regression: the dedup check and the enqueue were not atomic — a
+    duplicate arriving while the first submission was fsync'ing the queue
+    journal passed the in-flight check too and enqueued a second execution
+    of the same session journal.  The fingerprint is now reserved inside
+    the admission critical section, so the duplicate coalesces."""
+    d = _lib_daemon(tmp_path)
+    dup = {}
+    real_journal = d._journal_event
+
+    def racing_journal(doc):
+        if doc.get("kind") == "submit" and not dup:
+            # a second tenant submits the same work mid-fsync
+            dup.update(d.submit(_spec(tenant="bob")))
+        real_journal(doc)
+
+    d._journal_event = racing_journal
+    first = d.submit(_spec(tenant="alice"))
+    assert dup.get("dedup") is True
+    assert dup["job_id"] == first["job_id"]
+    assert d.queue.depth == 1  # one runnable job, not two
+    job = d.queue.by_id[first["job_id"]]
+    assert sorted(job.tenants) == ["alice", "bob"]
+
+
+def test_submission_during_settle_does_not_coalesce_or_leak_quota(tmp_path):
+    """Regression: _settle decremented tenant quota, then journaled the
+    terminal event, and only afterwards dropped the dedup index entry — a
+    submit in that window coalesced onto the settled job and incremented
+    an active count nothing would ever decrement."""
+    d = _lib_daemon(tmp_path)
+    spec = _spec(tenant="alice")
+    first = d.submit(spec)
+    job = d.queue.by_id[first["job_id"]]
+    racer = {}
+    real_journal = d._journal_event
+
+    def racing_journal(doc):
+        real_journal(doc)
+        if doc.get("kind") == "terminal":
+            racer.update(d.submit(spec))
+
+    d._journal_event = racing_journal
+    d._settle(job, "failed", error={"error": "X", "message": "boom"})
+    # the racing submit got a fresh job, not a coalesce onto the corpse
+    assert "dedup" not in racer
+    assert racer["job_id"] != first["job_id"]
+    # quota is exact: the settled job released its slot, the new job holds one
+    assert d.admission.tenant("alice").active == 1
+
+
+def test_half_open_probe_released_on_cache_hit_and_capacity_shed(tmp_path):
+    """Regression: a half-open probe that resolved as a cache hit or was
+    shed by quota/rate never fed the breaker, so every later allow()
+    returned False and the tenant was quarantined forever."""
+    clock = FakeClock()
+    d = _lib_daemon(tmp_path, clock=clock,
+                    max_queue_depth=1, breaker_threshold=1,
+                    breaker_cooldown_s=10.0)
+    spec = _spec()
+    state = d.admission.tenant(spec.tenant)
+    state.breaker.record_failure()  # open
+    clock.advance(10.0)
+
+    # probe admitted, then shed on queue depth: the slot must come back
+    state.active = 1
+    with pytest.raises(ServiceOverloadError) as exc:
+        d.submit(spec)
+    assert exc.value.reason == "queue-depth"
+    assert state.breaker.state == "open"
+    state.active = 0
+
+    # probe admitted, then served from the result cache: same story
+    d.results.put(job_fingerprint(spec), {"state": "done"})
+    r = d.submit(spec)
+    assert r["cached"]
+    assert state.breaker.state == "open"
+
+    # the cooldown already elapsed, so the tenant is NOT stuck: the next
+    # genuinely-new submission is re-admitted as a fresh probe
+    fresh = _spec(base_seed=99)
+    accepted = d.submit(fresh)
+    assert accepted["ok"]
+    assert state.breaker.state == "half-open"
+
+
+def test_shed_probe_job_releases_slot_instead_of_wedging_breaker(tmp_path):
+    """A probe job that terminates without a health verdict (deadline
+    shed) must return its slot: shed is not evidence either way."""
+    clock = FakeClock()
+    d = _lib_daemon(tmp_path, clock=clock,
+                    breaker_threshold=1, breaker_cooldown_s=10.0)
+    spec = _spec(deadline_s=30.0)
+    state = d.admission.tenant(spec.tenant)
+    state.breaker.record_failure()
+    clock.advance(10.0)
+    accepted = d.submit(spec)  # the half-open probe job
+    assert accepted["ok"] and state.breaker.state == "half-open"
+    job = d.queue.by_id[accepted["job_id"]]
+    d._settle(job, "shed", breaker_failure=False, shed_reason="deadline")
+    assert state.breaker.state == "open"
+    again = d.submit(_spec(base_seed=77))
+    assert again["ok"] and state.breaker.state == "half-open"
+
+
+def test_recovered_job_rearms_deadline(tmp_path):
+    """Regression: _recover rebuilt the Job from the journaled spec but
+    never re-armed deadline_monotonic, so a deadline-carrying job ran
+    unbounded after a daemon restart."""
+    first = _lib_daemon(tmp_path, default_deadline_s=45.0)
+    explicit = _spec(deadline_s=30.0)
+    defaulted = _spec(base_seed=7)  # no deadline of its own: policy applies
+    for spec in (explicit, defaulted):
+        first._journal_event({
+            "kind": "submit",
+            "fingerprint": job_fingerprint(spec),
+            "spec": spec.to_wire(),
+            "tenants": [spec.tenant],
+        })
+    second = _lib_daemon(tmp_path, default_deadline_s=45.0)
+    second._recover()
+    jobs = {j.fingerprint: j for j in second.queue.jobs()}
+    assert all(j.recovered for j in jobs.values())
+    assert jobs[job_fingerprint(explicit)].deadline_monotonic is not None
+    assert jobs[job_fingerprint(defaulted)].deadline_monotonic is not None
+
+
 # -- result store -------------------------------------------------------------
 
 
