@@ -80,6 +80,43 @@ class AppRef:
 
 _REGISTRY: Dict[str, AppEntry] = {}
 
+#: process-global memo of built specs, keyed by :class:`AppRef`.  Specs are
+#: stateless recipes (closure factories + metadata), so one instance can
+#: serve every run of a session — this is what lets a warm pool worker skip
+#: the per-task rebuild.  Invalidated whenever the name is re-registered.
+_SPEC_CACHE: Dict[AppRef, AppSpec] = {}
+_SPEC_CACHE_CAP = 64
+
+
+def cached_build(ref: AppRef) -> AppSpec:
+    """Build ``ref`` once per process and memoize the spec.
+
+    Used by hot paths that construct the same app for every run (pool
+    workers, the serial executor).  Callers must treat the returned spec as
+    shared and immutable; anyone who mutates specs should call
+    :meth:`AppRef.build` for a private instance instead.
+    """
+    try:
+        spec = _SPEC_CACHE.get(ref)
+    except TypeError:  # unhashable kwarg values: memoization cannot apply
+        return ref.build()
+    if spec is None:
+        spec = ref.build()
+        while len(_SPEC_CACHE) >= _SPEC_CACHE_CAP:
+            _SPEC_CACHE.pop(next(iter(_SPEC_CACHE)))
+        _SPEC_CACHE[ref] = spec
+    return spec
+
+
+def _invalidate_specs(name: str) -> None:
+    for ref in [r for r in _SPEC_CACHE if r.name == name]:
+        del _SPEC_CACHE[ref]
+
+
+def clear_spec_cache() -> None:
+    """Drop every memoized spec (tests)."""
+    _SPEC_CACHE.clear()
+
 
 def register(
     name: str,
@@ -101,12 +138,14 @@ def register(
         description=description,
     )
     _REGISTRY[name] = entry
+    _invalidate_specs(name)
     return entry
 
 
 def unregister(name: str) -> None:
     """Remove an app from the registry (no-op if absent)."""
     _REGISTRY.pop(name, None)
+    _invalidate_specs(name)
 
 
 def get(name: str) -> AppEntry:

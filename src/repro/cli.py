@@ -50,6 +50,8 @@ complete *degraded*, printing one failure record per lost run.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Optional
 
@@ -180,13 +182,28 @@ def cmd_overhead(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.harness.bench import baseline_history, run_bench, write_bench
+    from repro.harness.bench import (
+        baseline_history,
+        check_regression,
+        run_bench,
+        write_bench,
+    )
 
     doc = run_bench(
         quick=args.quick,
         apps=args.apps or None,
         progress=lambda msg: print(msg, file=sys.stderr),
+        variants=args.variants or None,
     )
+    # gate against the history already on disk, before this run's own
+    # entry (if any) joins it — a run must not be its own baseline
+    prior_history: list = []
+    if args.gate is not None and os.path.exists(args.output):
+        try:
+            with open(args.output) as f:
+                prior_history = json.load(f).get("history", []) or []
+        except (OSError, ValueError):
+            prior_history = []
     if args.label:
         doc["history"] = doc.get("history", []) + [
             {
@@ -195,6 +212,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 # quick runs are crash smoke only: the tag keeps them out
                 # of cross-PR baseline comparisons (bench.baseline_history)
                 "quick": doc["quick"],
+                # same-backend filtering for perf gates (baseline_history)
+                "backend": doc["backend"],
                 "summary": doc["summary"],
             }
         ]
@@ -215,11 +234,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if ckpt:
         pairs = ", ".join(f"{app} {ratio:.2f}x" for app, ratio in ckpt.items())
         print(f"checkpoint fast-forward speedup vs cold sessions: {pairs}")
+    harness = doc["summary"].get("harness") or {}
+    for app, m in harness.items():
+        print(
+            f"harness ({app}): warm serial {m.get('warm_serial_wall_s')}s, "
+            f"warm parallel {m.get('warm_parallel_wall_s')}s, dispatch "
+            f"{m.get('dispatch_overhead_per_run_ms')} ms/run, wire "
+            f"{m.get('bytes_per_run_binary')} B/run binary vs "
+            f"{m.get('bytes_per_run_json')} B/run JSON "
+            f"({m.get('wire_ratio')}x)"
+        )
     baselines = baseline_history(doc.get("history", []))
     if baselines:
         print(f"cross-PR baselines on record: {len(baselines)} "
               f"({len(doc.get('history', [])) - len(baselines)} quick entries excluded)")
     print(f"bench results written to {args.output}")
+    if args.gate is not None:
+        problems = check_regression(doc, prior_history, pct=args.gate)
+        if problems:
+            for problem in problems:
+                print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"perf gate passed (threshold {args.gate:g}%)")
     return 0
 
 
@@ -538,8 +574,18 @@ def main(argv: Optional[list] = None) -> int:
              "example, ferret, sqlite)",
     )
     p.add_argument(
+        "--variant", dest="variants", action="append", metavar="NAME",
+        help="restrict the matrix to this variant (repeatable; e.g. "
+             "'harness' for the dispatch-overhead perf gate)",
+    )
+    p.add_argument(
         "--label", metavar="TEXT",
         help="append this run's summary to the document's cross-PR history",
+    )
+    p.add_argument(
+        "--gate", type=float, default=None, metavar="PCT",
+        help="fail (exit 1) when the harness cell regresses by more than "
+             "PCT%% against the recorded same-backend baseline history",
     )
     p.set_defaults(fn=cmd_bench)
 

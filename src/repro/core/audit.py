@@ -388,6 +388,45 @@ def run_doctor(
         ),
     ))
 
+    # batched dispatch (repro.harness.parallel.RunBatch): shipping several
+    # runs per worker round trip is execution-only, so a session forced to
+    # multi-run batches must be bit-identical to the serial one
+    batched = run_profile_session(spec, ProfileRequest(
+        runs=runs, base_seed=base_seed, coz_config=cfg,
+        execution=ExecutionConfig(jobs=jobs, batch_runs=max(2, runs // jobs)),
+        audit=True,
+    ))
+    report.merge(batched.audit)
+    report.add(_check(
+        "batched-dispatch-identity",
+        batched.data == serial.data,
+        detail=(
+            f"batched parallel session ({len(batched.data.runs)} runs, "
+            f"batch size {max(2, runs // jobs)}) is not bit-identical to "
+            f"the serial session"
+        ),
+    ))
+
+    # binary wire (repro.core.binwire): the compact columnar encoding must
+    # be a lossless involution — decode(encode(data)) renders the same
+    # JSON bytes as data itself
+    from repro.core.profile_data import ProfileData as _PD
+
+    wire_json = serial.data.to_json()
+    try:
+        decoded_json = _PD.from_bytes(serial.data.to_bytes()).to_json()
+        wire_ok = decoded_json == wire_json
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception:
+        wire_ok = False
+    report.add(_check(
+        "binary-wire-identity",
+        wire_ok,
+        detail="ProfileData.from_bytes(to_bytes()) does not reproduce the "
+               "JSON wire byte-for-byte",
+    ))
+
     # checkpoint/resume: journal a session, stop it midway, resume it, and
     # demand bit-identity with the uninterrupted serial session
     import os

@@ -237,6 +237,24 @@ class ProfileData:
             data.add_failure(RunFailure.from_dict(fd))
         return data
 
+    def to_bytes(self) -> bytes:
+        """Serialize to the binary columnar wire (:mod:`repro.core.binwire`).
+
+        The compact counterpart of :meth:`to_json` — same document, packed
+        integer columns instead of text.  ``from_bytes(to_bytes(d)).to_json()``
+        is byte-identical to ``d.to_json()``.
+        """
+        from repro.core import binwire
+
+        return binwire.encode_profile(self)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "ProfileData":
+        """Rebuild from :meth:`to_bytes` output."""
+        from repro.core import binwire
+
+        return binwire.decode_profile(blob)
+
     # -- whole-run totals ----------------------------------------------------------
 
     def total_effective_ns(self) -> int:

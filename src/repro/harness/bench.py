@@ -13,7 +13,7 @@ four throughput metrics per cell:
 * ``samples`` — total IP samples taken (a workload-size sanity check: the
   simulated work is deterministic, so this must not change run to run).
 
-The matrix covers three apps (example, ferret, sqlite) in seven variants:
+The matrix covers three apps (example, ferret, sqlite) in eight variants:
 
 ``session``
     the public ``run_profile_session`` path, serial, default config —
@@ -67,7 +67,16 @@ The matrix covers three apps (example, ferret, sqlite) in seven variants:
     (8 full / 3 quick) than the timing cells so the static baseline has
     replicated measurements to compare against, and sqlite's cell runs
     shorter experiments (``PLANNER_CELL_CFG``) so a run holds more than
-    ~3 of them.
+    ~3 of them;
+``harness``
+    the warm-worker data-plane acceptance cell (ferret only): one cold
+    populate pass, then best-of-``HARNESS_TRIALS`` warm serial and warm
+    parallel (``jobs=HARNESS_JOBS``, batched dispatch) sessions over the
+    same checkpoint cache.  ``extra`` records both walls, the per-run
+    pool dispatch overhead, and the merged profile's size on the JSON and
+    binary wires; ``summary.harness`` promotes them (plus the parallel
+    cell's ``events_per_sec``) per app, and :func:`check_regression`
+    gates those numbers against the recorded history in CI.
 
 Wall-clock numbers are noisy on shared machines; the sim-side metrics
 (``virtual_ns``, ``events``, ``samples``) are bit-deterministic and double
@@ -116,7 +125,18 @@ VARIANTS = {
     "checkpoint": ("session", {}, {}, {"checkpoint": True}),
     "planner": ("planner", {}, {}, {}),
     "service": ("service", {}, {}, {}),
+    "harness": ("harness", {}, {}, {}),
 }
+
+#: worker processes the ``harness`` cell pins — the acceptance protocol is
+#: fixed so its numbers are comparable across PRs and machines
+HARNESS_JOBS = 4
+#: timed trials per leg inside the harness cell (best wall wins)
+HARNESS_TRIALS = 2
+#: apps the harness cell runs on (ferret is the canonical acceptance
+#: workload; the cell measures the executor, not the app, so one app is
+#: enough and keeps the matrix affordable)
+HARNESS_APPS = ("ferret",)
 
 #: planner-cell per-app profiler overrides: sqlite's default 50 ms
 #: experiments fit only ~3 experiments in a whole run, which no schedule —
@@ -189,10 +209,16 @@ class CellResult:
         return doc
 
 
-def default_matrix(quick: bool = False, apps: Optional[List[str]] = None) -> List[BenchCell]:
+def default_matrix(
+    quick: bool = False,
+    apps: Optional[List[str]] = None,
+    variants: Optional[List[str]] = None,
+) -> List[BenchCell]:
     """The fixed cell matrix (shrunk runs/repeats under ``--quick``).
 
-    The planner cell gets more runs than the timing cells (and a single
+    ``variants`` restricts the matrix to the named variants (used by the
+    CI perf gate to run just the full-scale ``harness`` cell).  The
+    planner cell gets more runs than the timing cells (and a single
     repeat — its sessions are deterministic, so repeats only re-time
     identical work): the efficiency comparison needs a static baseline
     long enough to replicate its measurements.
@@ -204,11 +230,25 @@ def default_matrix(quick: bool = False, apps: Optional[List[str]] = None) -> Lis
     has_unix_sockets = hasattr(socket_mod, "AF_UNIX")
     cells = []
     for app in apps or MATRIX_APPS:
-        for variant in VARIANTS:
+        for variant in variants or VARIANTS:
+            if variant not in VARIANTS:
+                raise ValueError(
+                    f"unknown bench variant {variant!r}; "
+                    f"available: {', '.join(VARIANTS)}"
+                )
             if variant == "planner":
                 cells.append(
                     BenchCell(app=app, variant=variant, runs=3 if quick else 8, repeats=1)
                 )
+            elif variant == "harness":
+                if app not in HARNESS_APPS:
+                    continue
+                # one repeat: the cell runs its own best-of-N trials per
+                # leg (serial and parallel) over one shared warm cache
+                cells.append(BenchCell(
+                    app=app, variant=variant,
+                    runs=6 if quick else 20, repeats=1,
+                ))
             elif variant == "service":
                 if not has_unix_sockets:
                     warnings.warn(
@@ -396,6 +436,71 @@ def _run_service_cell(cell: BenchCell) -> Dict:
         shutil.rmtree(state_dir, ignore_errors=True)
 
 
+def _run_harness_cell(cell: BenchCell) -> Dict:
+    """Warm-path executor overhead: serial vs parallel over a hot cache.
+
+    One untimed cold pass populates the in-memory checkpoint cache, then
+    the warm serial and warm parallel (``jobs=HARNESS_JOBS``, auto-sized
+    :class:`~repro.harness.parallel.RunBatch` dispatch) sessions each run
+    ``HARNESS_TRIALS`` times; best wall wins.  The parallel profile must
+    be bit-identical to the serial one (warned otherwise and recorded in
+    ``extra.identical``).  ``dispatch_overhead_per_run_ms`` is the pool's
+    per-run round-trip cost net of ideal-speedup compute,
+    ``(parallel - serial/jobs) / runs``; on machines with fewer cores
+    than ``HARNESS_JOBS`` the parallel leg is time-sliced, so the number
+    is an upper bound.  ``bytes_per_run_json`` / ``bytes_per_run_binary``
+    size the merged profile on each wire.
+    """
+    from repro.harness.checkpoint import clear_memory_cache
+    from repro.harness.parallel import auto_batch_size
+
+    def _request(jobs: int) -> ProfileRequest:
+        return ProfileRequest(
+            runs=cell.runs, execution=ExecutionConfig(jobs=jobs),
+        )
+
+    clear_memory_cache()
+    run_profile_session(registry.build(cell.app), _request(1))  # populate
+
+    def _timed(jobs: int):
+        best = None
+        out = None
+        for _ in range(HARNESS_TRIALS):
+            t0 = time.perf_counter()
+            out = run_profile_session(registry.build(cell.app), _request(jobs))
+            wall = time.perf_counter() - t0
+            best = wall if best is None else min(best, wall)
+        return best, out
+
+    serial_s, serial_out = _timed(1)
+    parallel_s, parallel_out = _timed(HARNESS_JOBS)
+    identical = parallel_out.data == serial_out.data
+    if not identical:
+        warnings.warn(
+            f"{cell.app}: warm parallel session is NOT bit-identical to "
+            f"the warm serial session",
+            stacklevel=2,
+        )
+    json_bytes = len(parallel_out.data.to_json().encode("utf-8"))
+    bin_bytes = len(parallel_out.data.to_bytes())
+    overhead_ms = (parallel_s - serial_s / HARNESS_JOBS) / cell.runs * 1000.0
+    metrics = _session_metrics(parallel_out)
+    metrics["extra"] = {
+        "jobs": HARNESS_JOBS,
+        "batch_runs": auto_batch_size(cell.runs, HARNESS_JOBS),
+        "warm_serial_wall_s": round(serial_s, 4),
+        "warm_parallel_wall_s": round(parallel_s, 4),
+        "dispatch_overhead_per_run_ms": round(overhead_ms, 3),
+        "bytes_per_run_json": json_bytes // cell.runs,
+        "bytes_per_run_binary": bin_bytes // cell.runs,
+        "wire_ratio": round(json_bytes / bin_bytes, 2) if bin_bytes else None,
+        "identical": identical,
+    }
+    # the cell's wall is the timed parallel leg, not the whole protocol
+    metrics["_wall_s"] = parallel_s
+    return metrics
+
+
 def _run_program_cell(cell: BenchCell, coz_over: Dict, sim_over: Dict) -> Dict:
     # mirrors harness.parallel._run_task (seed i, profiler seeded the same),
     # with the engine config overridden per variant
@@ -446,9 +551,14 @@ def run_cell(cell: BenchCell) -> CellResult:
             out = run_profile_session(spec, _planner_request(cell, spec, adaptive=True))
             metrics = _session_metrics(out)
             extra = _planner_extra(static_out, out)
+        elif mode == "harness":
+            metrics = dict(_run_harness_cell(cell))
+            extra = metrics.pop("extra")
         else:
             metrics = _run_program_cell(cell, coz_over, sim_over)
         walls.append(time.perf_counter() - t0)
+    if mode == "harness" and "_wall_s" in metrics:
+        walls = [metrics.pop("_wall_s")]
     # record how the cell actually executed: the variant's pinned values
     # where set, else the process defaults the engines resolved to — so a
     # document read in isolation says which backend/pipeline it measured
@@ -477,10 +587,11 @@ def run_bench(
     quick: bool = False,
     apps: Optional[List[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    variants: Optional[List[str]] = None,
 ) -> Dict:
     """Run the full matrix and return the ``BENCH_engine.json`` document."""
     cells = []
-    for cell in default_matrix(quick=quick, apps=apps):
+    for cell in default_matrix(quick=quick, apps=apps, variants=variants):
         if progress is not None:
             progress(f"bench {cell.name} (runs={cell.runs} x{cell.repeats})")
         cells.append(run_cell(cell))
@@ -490,7 +601,29 @@ def run_bench(
     checkpoint_speedup = {}
     planner_efficiency = {}
     service_summary = {}
+    harness_summary = {}
     for app in dict.fromkeys(c.app for c in cells):
+        harness = by_name.get(f"{app}/harness")
+        if harness and harness.extra:
+            harness_summary[app] = dict(
+                {
+                    k: harness.extra[k]
+                    for k in (
+                        "warm_serial_wall_s",
+                        "warm_parallel_wall_s",
+                        "dispatch_overhead_per_run_ms",
+                        "bytes_per_run_json",
+                        "bytes_per_run_binary",
+                        "wire_ratio",
+                        "identical",
+                    )
+                    if k in harness.extra
+                },
+                events_per_sec=(
+                    round(harness.events / harness.wall_s)
+                    if harness.wall_s else None
+                ),
+            )
         service = by_name.get(f"{app}/service")
         if service and service.extra:
             service_summary[app] = {
@@ -551,6 +684,7 @@ def run_bench(
             "checkpoint_speedup": checkpoint_speedup,
             "planner_efficiency": planner_efficiency,
             "service": service_summary,
+            "harness": harness_summary,
             "ferret_session_wall_s": (
                 round(by_name["ferret/session"].wall_s, 4)
                 if "ferret/session" in by_name
@@ -582,6 +716,60 @@ def baseline_history(
     if backend is not None:
         usable = [h for h in usable if h.get("backend", "pure") == backend]
     return usable
+
+
+def check_regression(
+    doc: Dict, history: Optional[List[Dict]] = None, pct: float = 25.0
+) -> List[str]:
+    """Gate a fresh bench document against the recorded cross-PR history.
+
+    Compares the ``harness`` cell's summary — throughput
+    (``events_per_sec``, lower is worse) and pool dispatch overhead
+    (``dispatch_overhead_per_run_ms``, higher is worse) — against the most
+    recent usable baseline entry: a full (non-``--quick``) run recorded
+    under the same engine backend (:func:`baseline_history`) whose summary
+    carries a ``harness`` section.  A metric regresses when it is more
+    than ``pct`` percent worse than the baseline.  Overhead baselines
+    under 1 ms/run are not gated — at that magnitude the comparison is
+    scheduler noise, not dispatch cost.  Returns human-readable
+    regression descriptions; an empty list means pass (including when no
+    usable baseline exists yet — a fresh gate has nothing to compare).
+    """
+    if history is None:
+        history = doc.get("history", [])
+    usable = baseline_history(history, backend=doc.get("backend"))
+    baseline: Optional[Dict] = None
+    for entry in reversed(usable):
+        harness = (entry.get("summary") or {}).get("harness") or {}
+        if harness:
+            baseline = harness
+            break
+    if baseline is None:
+        return []
+    current = (doc.get("summary") or {}).get("harness") or {}
+    problems: List[str] = []
+    for app, base_m in baseline.items():
+        cur_m = current.get(app)
+        if not isinstance(base_m, dict) or not isinstance(cur_m, dict):
+            continue
+        b_eps = base_m.get("events_per_sec")
+        c_eps = cur_m.get("events_per_sec")
+        if b_eps and c_eps and c_eps < b_eps * (1.0 - pct / 100.0):
+            problems.append(
+                f"{app}/harness events_per_sec {c_eps:,} is more than "
+                f"{pct:g}% below the baseline {b_eps:,}"
+            )
+        b_ov = base_m.get("dispatch_overhead_per_run_ms")
+        c_ov = cur_m.get("dispatch_overhead_per_run_ms")
+        if (
+            b_ov is not None and c_ov is not None and b_ov >= 1.0
+            and c_ov > b_ov * (1.0 + pct / 100.0)
+        ):
+            problems.append(
+                f"{app}/harness dispatch_overhead_per_run_ms {c_ov:g} is "
+                f"more than {pct:g}% above the baseline {b_ov:g}"
+            )
+    return problems
 
 
 def write_bench(doc: Dict, path: str) -> None:

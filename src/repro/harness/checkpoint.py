@@ -52,17 +52,28 @@ from repro.sim.snapshot import (
 
 __all__ = [
     "CheckpointStore",
+    "SnapshotRef",
+    "SnapshotWire",
     "checkpoint_fingerprint",
     "execute_run",
+    "resolve_shipped",
     "clear_memory_cache",
 ]
 
 _MANIFEST = "MANIFEST.json"
 _MANIFEST_SCHEMA = "checkpoint-cache/v1"
 
-#: process-global LRU of deepest checkpoints, keyed (fingerprint, seed)
+#: process-global LRU of deepest checkpoints, keyed (fingerprint, seed).
+#: Pool workers forked from a warm parent inherit this populated — the
+#: parallel executor ships :class:`SnapshotRef` markers instead of payloads
+#: whenever that is the case, so warm fan-out costs no snapshot bytes.
 _MEMORY: "OrderedDict[Tuple[str, int], EngineSnapshot]" = OrderedDict()
-_MEMORY_CAP = 32
+_MEMORY_CAP = 64
+
+#: process-global store instances, keyed (fingerprint, directory): opening
+#: a directory validates its manifest under a file lock, which a pool
+#: worker must pay once per session, not once per task
+_SHARED_STORES: dict = {}
 
 
 class CheckpointCacheWarning(UserWarning):
@@ -107,6 +118,7 @@ def _dir_lock(directory: str):
 def clear_memory_cache() -> None:
     """Drop every in-memory checkpoint (tests, and bench cold baselines)."""
     _MEMORY.clear()
+    _SHARED_STORES.clear()
 
 
 def checkpoint_fingerprint(spec, coz_config, faults) -> str:
@@ -144,6 +156,22 @@ class CheckpointStore:
         self.directory = directory
         if directory is not None:
             self._open_directory()
+
+    @classmethod
+    def shared(cls, key: str, directory: Optional[str] = None) -> "CheckpointStore":
+        """Process-cached store for ``(key, directory)``.
+
+        Construction with a directory validates the on-disk manifest under
+        an advisory lock; the shared instance pays that once per process
+        (a pool worker otherwise re-validates on every task).  The cache is
+        dropped by :func:`clear_memory_cache`.
+        """
+        cache_key = (key, directory)
+        store = _SHARED_STORES.get(cache_key)
+        if store is None:
+            store = cls(key, directory=directory)
+            _SHARED_STORES[cache_key] = store
+        return store
 
     # ------------------------------------------------------------- memory
 
@@ -232,9 +260,13 @@ class CheckpointStore:
             return None
         try:
             with open(path, "rb") as fh:
-                snap = pickle.load(fh)
+                blob = fh.read()
+            if blob[:4] == EngineSnapshot.WIRE_MAGIC:
+                snap = EngineSnapshot.from_bytes(blob)
+            else:  # pre-container files: a bare pickle
+                snap = pickle.loads(blob)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, ValueError) as exc:
+                ImportError, ValueError, SnapshotError) as exc:
             warnings.warn(
                 f"discarding unreadable checkpoint {path!r} ({exc})",
                 CheckpointCacheWarning,
@@ -264,7 +296,7 @@ class CheckpointStore:
         tmp = f"{path}.tmp.{os.getpid()}"
         try:
             with open(tmp, "wb") as fh:
-                pickle.dump(snapshot, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(snapshot.to_bytes())
             os.replace(tmp, path)  # atomic: readers never see a torn file
         except (OSError, pickle.PicklingError) as exc:
             warnings.warn(
@@ -276,6 +308,112 @@ class CheckpointStore:
                 os.unlink(tmp)
             except OSError:
                 pass
+
+
+# ------------------------------------------------------- snapshot shipping
+
+
+class SnapshotRef:
+    """Zero-payload stand-in for a snapshot a pool worker already has.
+
+    On fork platforms, workers inherit the parent's populated
+    :data:`_MEMORY` at pool-creation time, so shipping the snapshot again
+    is pure waste — the parallel executor sends this (fingerprint, seed)
+    marker instead.  Resolution misses (LRU eviction raced the fork, or an
+    exotic start method) degrade to the task's disk store or a cold run,
+    both bit-identical.
+    """
+
+    __slots__ = ("key", "seed")
+
+    def __init__(self, key: str, seed: int) -> None:
+        self.key = key
+        self.seed = seed
+
+    def __getstate__(self):
+        return (self.key, self.seed)
+
+    def __setstate__(self, state):
+        self.key, self.seed = state
+
+    def resolve(self, store: Optional[CheckpointStore] = None):
+        snap = _MEMORY.get((self.key, self.seed))
+        if snap is not None:
+            _MEMORY.move_to_end((self.key, self.seed))
+            return snap
+        if store is not None:
+            return store.get(self.seed)
+        return None
+
+
+class SnapshotWire:
+    """Pre-encoded snapshot bytes for boundaries that cannot inherit memory.
+
+    The parent encodes once (:meth:`EngineSnapshot.to_bytes`); every
+    pickle of the wrapper afterwards is a plain bytes copy, and the worker
+    decodes once per (fingerprint, seed) into the process-global memory
+    cache, so batch retries and later tasks hit it warm.
+    """
+
+    __slots__ = ("key", "seed", "blob")
+
+    def __init__(self, blob: bytes, key: Optional[str] = None, seed: int = 0) -> None:
+        self.blob = blob
+        self.key = key
+        self.seed = seed
+
+    def __getstate__(self):
+        return (self.blob, self.key, self.seed)
+
+    def __setstate__(self, state):
+        self.blob, self.key, self.seed = state
+
+    @classmethod
+    def from_snapshot(
+        cls, snap: EngineSnapshot, key: Optional[str] = None, seed: int = 0
+    ) -> "SnapshotWire":
+        return cls(snap.to_bytes(), key=key, seed=seed)
+
+    def resolve(self, store: Optional[CheckpointStore] = None):
+        if self.key is not None:
+            cached = _MEMORY.get((self.key, self.seed))
+            if cached is not None:
+                _MEMORY.move_to_end((self.key, self.seed))
+                return cached
+        try:
+            snap = EngineSnapshot.from_bytes(self.blob)
+        except SnapshotError as exc:
+            warnings.warn(
+                f"discarding unreadable shipped snapshot ({exc})",
+                CheckpointCacheWarning,
+                stacklevel=3,
+            )
+            return store.get(self.seed) if store is not None else None
+        if self.key is not None:
+            _MEMORY[(self.key, self.seed)] = snap
+            _MEMORY.move_to_end((self.key, self.seed))
+            while len(_MEMORY) > _MEMORY_CAP:
+                _MEMORY.popitem(last=False)
+        return snap
+
+
+def resolve_shipped(obj, store: Optional[CheckpointStore] = None):
+    """Turn whatever rode in ``RunTask.snapshot`` into a live snapshot.
+
+    Accepts ``None``, a live :class:`EngineSnapshot`, or either shipping
+    wrapper; returns a snapshot or ``None`` (cold run).  The task's store
+    is the fallback for unresolvable refs.
+    """
+    if obj is None or isinstance(obj, EngineSnapshot):
+        return obj
+    if isinstance(obj, (SnapshotRef, SnapshotWire)):
+        return obj.resolve(store)
+    return None
+
+
+def snapshot_in_memory(key: str, seed: int) -> bool:
+    """True when the process-global cache holds this (fingerprint, seed)."""
+    return (key, seed) in _MEMORY
 
 
 # ------------------------------------------------------------ orchestration

@@ -175,9 +175,14 @@ class Watchdog:
         return (self._walls[mid - 1] + self._walls[mid]) / 2.0
 
     def deadline_s(self) -> float:
+        return self.deadline_for(1)
+
+    def deadline_for(self, n_runs: int) -> float:
+        """Deadline for a wait covering ``n_runs`` batched runs."""
         if len(self._walls) < self.min_samples:
             return self.max_deadline_s
-        return min(self.max_deadline_s, self.factor * self.median_s + self.grace_s)
+        bound = self.factor * self.median_s * max(1, n_runs) + self.grace_s
+        return min(self.max_deadline_s, bound)
 
 
 @dataclass
@@ -229,6 +234,10 @@ class RunOutput:
     seed: int
     run: Dict[str, Any] = field(default_factory=dict)
     data_json: Optional[str] = None
+    #: binary columnar profile wire (:mod:`repro.core.binwire`) — what pool
+    #: workers ship since the JSON wire became the debug/journal view; at
+    #: most one of ``data_json`` / ``data_bin`` is set
+    data_bin: Optional[bytes] = field(default=None, repr=False)
     #: per-run invariant audit (wire format), when the config asked for one
     audit_json: Optional[str] = None
     #: RunFailure wire dict when the run produced no data
@@ -253,6 +262,8 @@ class RunOutput:
     def profile_data(self) -> Optional[ProfileData]:
         if self._data is not None:
             return self._data
+        if self.data_bin is not None:
+            return ProfileData.from_bytes(self.data_bin)
         if self.data_json is None:
             return None
         return ProfileData.from_json(self.data_json)
@@ -291,9 +302,16 @@ def _summarize(result: RunResult) -> Dict[str, Any]:
 
 def _resolve_factory(task: RunTask):
     """(factory, progress_points, latency_specs) for a task, rebuilding
-    registry-referenced apps by name."""
+    registry-referenced apps by name.
+
+    Registry rebuilds go through the process-global spec memo
+    (:func:`repro.apps.registry.cached_build`): a warm pool worker builds
+    each app of a session once, not once per task.
+    """
     if task.app_ref is not None:
-        spec = task.app_ref.build()
+        from repro.apps.registry import cached_build
+
+        spec = cached_build(task.app_ref)
         return spec.build, tuple(spec.progress_points), tuple(spec.latency_specs)
     if task.program_factory is None:
         raise ValueError("RunTask needs an app_ref or a program_factory")
@@ -306,6 +324,9 @@ def _checkpoint_store(task: RunTask):
     Workers without a shared cache directory skip the store entirely: their
     in-memory cache dies with the process, so recording there is pure
     overhead (a shipped ``task.snapshot`` still resumes them warm).
+    Store instances are process-cached per (fingerprint, directory) so the
+    manifest validation (makedirs + lock + read) happens once per session,
+    not once per task.
     """
     if not task.checkpoint or task.checkpoint_key is None:
         return None
@@ -314,7 +335,7 @@ def _checkpoint_store(task: RunTask):
         return None
     from repro.harness.checkpoint import CheckpointStore
 
-    return CheckpointStore(task.checkpoint_key, directory=task.checkpoint_dir)
+    return CheckpointStore.shared(task.checkpoint_key, directory=task.checkpoint_dir)
 
 
 def _run_task(task: RunTask, keep_objects: bool = False) -> RunOutput:
@@ -344,13 +365,14 @@ def _run_task(task: RunTask, keep_objects: bool = False) -> RunOutput:
 
     try:
         if task.checkpoint and task.coz_config is not None:
-            from repro.harness.checkpoint import execute_run
+            from repro.harness.checkpoint import execute_run, resolve_shipped
 
+            store = _checkpoint_store(task)
             result, profiler = execute_run(
                 build,
                 task.seed,
-                snapshot=task.snapshot,
-                store=_checkpoint_store(task),
+                snapshot=resolve_shipped(task.snapshot, store),
+                store=store,
             )
         else:
             program, profiler, run_config = build()
@@ -365,7 +387,7 @@ def _run_task(task: RunTask, keep_objects: bool = False) -> RunOutput:
             out._data = profiler.data
             out._audit = profiler.auditor.report() if profiler.auditor else None
     elif profiler is not None:
-        out.data_json = profiler.data.to_json()
+        out.data_bin = profiler.data.to_bytes()
         if profiler.auditor is not None:
             out.audit_json = profiler.auditor.report().to_json()
     return out
@@ -400,6 +422,32 @@ def _run_task_in_worker(task: RunTask, attempt: int = 0) -> RunOutput:
     return out
 
 
+def _run_batch_in_worker(
+    tasks: List[RunTask],
+    attempts: List[int],
+    deadline_monotonic: Optional[float] = None,
+) -> List[RunOutput]:
+    """Worker entry point for one :class:`RunBatch`: outputs in task order.
+
+    Worker faults are enacted per member task — a kill mid-batch loses the
+    whole batch's future and the parent's split-on-retry isolates the
+    poisoned run.  With a session deadline the worker stops *between* runs
+    once it passes and returns the completed prefix (monotonic clocks are
+    system-wide on the supported platforms; a skewed clock merely shifts
+    work back to the parent's deadline handling).
+    """
+    outs: List[RunOutput] = []
+    for task, attempt in zip(tasks, attempts):
+        if (
+            deadline_monotonic is not None
+            and outs
+            and time.monotonic() >= deadline_monotonic
+        ):
+            break
+        outs.append(_run_task_in_worker(task, attempt))
+    return outs
+
+
 def _run_serial(
     tasks: List[RunTask],
     on_output: Optional[Callable[[RunTask, RunOutput], None]] = None,
@@ -420,12 +468,83 @@ def _warn(message: str) -> None:
     warnings.warn(message, ParallelExecutionWarning, stacklevel=3)
 
 
-def _picklable(task: RunTask) -> bool:
+#: cached picklability verdicts, keyed by task *shape* — the fields whose
+#: types decide picklability (the app reference / factory), not per-run
+#: payloads.  Bounded; cleared wholesale at the cap.
+_PROBE_CACHE: Dict[Any, bool] = {}
+_PROBE_CACHE_CAP = 128
+
+
+def clear_probe_cache() -> None:
+    """Forget cached picklability verdicts (tests)."""
+    _PROBE_CACHE.clear()
+
+
+def _probe_shape(task: RunTask) -> Any:
+    """Hashable shape key for the probe cache, or ``None`` if unkeyable."""
     try:
-        pickle.dumps(task)
-        return True
+        key = (task.app_ref, task.program_factory)
+        hash(key)
+        return key
+    except TypeError:
+        return None
+
+
+def _picklable(task: RunTask) -> bool:
+    """One cheap probe per task *shape*, not one ``pickle.dumps`` per task.
+
+    Historically every task — snapshot payload included — was pickled once
+    here and a second time at submission, doubling the serialization bill
+    of a warm session.  Picklability is a property of the task's shape
+    (which factory/app reference it carries), so the verdict is cached per
+    shape and the probe itself drops the snapshot: shipped snapshots are
+    wrapped in always-picklable byte/ref containers by the submit path.
+    """
+    shape = _probe_shape(task)
+    if shape is not None and shape in _PROBE_CACHE:
+        return _PROBE_CACHE[shape]
+    try:
+        pickle.dumps(replace(task, snapshot=None))
+        verdict = True
     except (pickle.PicklingError, AttributeError, TypeError):
-        return False
+        verdict = False
+    if shape is not None:
+        if len(_PROBE_CACHE) >= _PROBE_CACHE_CAP:
+            _PROBE_CACHE.clear()
+        _PROBE_CACHE[shape] = verdict
+    return verdict
+
+
+#: auto batch sizing: a worker should see a handful of batches (so the
+#: watchdog's median and straggler rebalancing still work), capped so one
+#: lost batch never costs too much recomputation
+_BATCH_OVERSUBSCRIBE = 4
+_MAX_BATCH = 16
+
+
+def _effective_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without CPU affinity
+        return os.cpu_count() or 1
+
+
+def auto_batch_size(n_tasks: int, jobs: int) -> int:
+    """Runs per IPC task when the caller didn't pin ``batch_runs``.
+
+    Aims for :data:`_BATCH_OVERSUBSCRIBE` batches per worker so finishing
+    order can still rebalance stragglers.  When the machine cannot actually
+    run ``jobs`` workers concurrently (fewer usable cores than workers),
+    finer slicing buys no load balance — only IPC — so batches grow to
+    ``ceil(n/jobs)`` instead.
+    """
+    if n_tasks <= 1 or jobs <= 1:
+        return 1
+    if jobs > _effective_cores():
+        per = -(-n_tasks // jobs)
+    else:
+        per = n_tasks // (jobs * _BATCH_OVERSUBSCRIBE)
+    return max(1, min(_MAX_BATCH, per))
 
 
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
@@ -487,14 +606,37 @@ def _audit_identity(tasks, outputs, audit_report) -> None:
     ))
 
 
-class _PoolSession:
-    """Mutable state of one parallel batch: pool, futures, retry ledger."""
+@dataclass
+class RunBatch:
+    """A contiguous slice of a session's tasks shipped as one IPC unit.
 
-    def __init__(self, tasks: List[RunTask], jobs: int, retry: RetryPolicy) -> None:
+    The pool's unit of dispatch and retry: one future per batch.  On a
+    worker failure a multi-run batch is split chunk-token style — halved
+    and resubmitted — so one poisoned run cannot keep sinking its
+    siblings; singletons fall back to the per-task retry ladder.
+    """
+
+    bid: int
+    tasks: List[RunTask]
+
+
+class _PoolSession:
+    """Mutable state of one parallel session: pool, batches, retry ledger."""
+
+    def __init__(
+        self,
+        tasks: List[RunTask],
+        jobs: int,
+        retry: RetryPolicy,
+        batch_size: int = 1,
+        deadline_monotonic: Optional[float] = None,
+    ) -> None:
         self.tasks = tasks
         self.jobs = jobs
         self.retry = retry
+        self.deadline_monotonic = deadline_monotonic
         self.pool: Optional[ProcessPoolExecutor] = None
+        #: one future per live batch, keyed by batch id
         self.futures: Dict[int, concurrent.futures.Future] = {}
         self.attempts: Dict[int, int] = {t.index: 0 for t in tasks}
         self.outputs: Dict[int, RunOutput] = {}
@@ -504,29 +646,107 @@ class _PoolSession:
         self.dead = False
         #: breaker open: run everything remaining in the parent
         self.breaker_open = False
+        self._next_bid = 0
+        self.batches: Dict[int, RunBatch] = {}
+        self._task_batch: Dict[int, int] = {}
+        for i in range(0, len(tasks), max(1, batch_size)):
+            self._new_batch(tasks[i:i + batch_size])
+        #: submit-side task forms: snapshots swapped for refs/byte wrappers
+        self._wired: Dict[int, RunTask] = {}
+        try:
+            self._fork_workers = multiprocessing.get_start_method() == "fork"
+        except Exception:  # pragma: no cover - exotic platforms
+            self._fork_workers = False
 
-    def submit(self, task: RunTask) -> None:
-        self.futures[task.index] = self.pool.submit(
-            _run_task_in_worker, task, self.attempts[task.index]
+    def _new_batch(self, tasks: List[RunTask]) -> RunBatch:
+        batch = RunBatch(bid=self._next_bid, tasks=tasks)
+        self._next_bid += 1
+        self.batches[batch.bid] = batch
+        for t in tasks:
+            self._task_batch[t.index] = batch.bid
+        return batch
+
+    def batch_of(self, index: int) -> RunBatch:
+        return self.batches[self._task_batch[index]]
+
+    def replace_batch(
+        self, batch: RunBatch, groups: List[List[RunTask]]
+    ) -> List[RunBatch]:
+        """Retire ``batch`` and re-cover its unfinished tasks with ``groups``."""
+        self.batches.pop(batch.bid, None)
+        self.futures.pop(batch.bid, None)
+        return [self._new_batch(g) for g in groups if g]
+
+    def _wire_task(self, task: RunTask) -> RunTask:
+        """The submit-side form of a task: never ships a live snapshot.
+
+        Fork-started workers inherit the parent's in-memory checkpoint
+        cache, so a snapshot that is in it travels as a zero-payload
+        :class:`~repro.harness.checkpoint.SnapshotRef`; otherwise it is
+        pre-encoded once into a byte wrapper that every resubmission
+        reuses.  Cached per task for the session's lifetime.
+        """
+        wired = self._wired.get(task.index)
+        if wired is not None:
+            return wired
+        snap = task.snapshot
+        from repro.harness.checkpoint import (
+            SnapshotRef,
+            SnapshotWire,
+            snapshot_in_memory,
+        )
+        from repro.sim.snapshot import EngineSnapshot
+
+        if snap is None or not isinstance(snap, EngineSnapshot):
+            wired = task
+        elif (
+            self._fork_workers
+            and task.checkpoint_key is not None
+            and snapshot_in_memory(task.checkpoint_key, task.seed)
+        ):
+            wired = replace(
+                task, snapshot=SnapshotRef(task.checkpoint_key, task.seed)
+            )
+        else:
+            wired = replace(
+                task,
+                snapshot=SnapshotWire.from_snapshot(
+                    snap, key=task.checkpoint_key, seed=task.seed
+                ),
+            )
+        self._wired[task.index] = wired
+        return wired
+
+    def submit(self, batch: RunBatch) -> None:
+        self.futures[batch.bid] = self.pool.submit(
+            _run_batch_in_worker,
+            [self._wire_task(t) for t in batch.tasks],
+            [self.attempts[t.index] for t in batch.tasks],
+            self.deadline_monotonic,
         )
 
     def submit_unfinished(self) -> None:
-        for t in self.tasks:
-            if t.index not in self.outputs:
-                self.submit(t)
+        for bid in sorted(self.batches):
+            batch = self.batches[bid]
+            if bid in self.futures:
+                continue
+            if any(t.index not in self.outputs for t in batch.tasks):
+                self.submit(batch)
 
     def harvest_done(self) -> None:
         """Collect every already-finished future (before a pool teardown)."""
-        for t in self.tasks:
-            fut = self.futures.get(t.index)
-            if t.index in self.outputs or fut is None or not fut.done():
+        for fut in list(self.futures.values()):
+            if not fut.done():
                 continue
             try:
-                self.outputs[t.index] = fut.result(timeout=0)
+                outs = fut.result(timeout=0)
             except (KeyboardInterrupt, SystemExit):
                 raise
             except (_FutureCancelled, Exception):
-                pass  # it failed; the main loop will handle this task
+                continue  # it failed; the main loop will handle its tasks
+            for out in outs:
+                if out.index not in self.outputs:
+                    self.outputs[out.index] = out
 
     def shutdown(self, now: bool = False) -> None:
         if self.pool is None:
@@ -567,6 +787,7 @@ class _PoolSession:
             _warn(f"could not rebuild process pool ({exc!r})")
             self.pool = None
             return False
+        self.futures.clear()
         self.submit_unfinished()
         return True
 
@@ -580,15 +801,22 @@ def execute_tasks(
     watchdog: Optional[Watchdog] = None,
     on_output: Optional[Callable[[RunTask, RunOutput], None]] = None,
     deadline_monotonic: Optional[float] = None,
+    batch_runs: Optional[int] = None,
 ) -> List[RunOutput]:
     """Run every task, parallel when asked and possible, serial otherwise.
 
     Outputs come back in task order regardless of completion order.
+    Tasks ship to the pool in :class:`RunBatch` groups of ``batch_runs``
+    (auto-sized from the run count and ``jobs`` when ``None``) so one IPC
+    round trip amortizes over several runs; a failed multi-run batch is
+    split in half and resubmitted, so a single poisoned run degrades to a
+    singleton instead of sinking its batch-mates.
     Worker failures retry per ``retry`` (default :class:`RetryPolicy`):
     in-pool with capped exponential backoff first, in the parent last, with
     a circuit breaker that degrades the whole batch to in-parent serial
     execution after repeated consecutive failures.  Waits are bounded by
-    ``timeout`` when given, else by the ``watchdog`` deadline (running
+    ``timeout`` when given (scaled by the number of runs still pending in
+    the awaited batch), else by the ``watchdog`` deadline (running
     median of healthy wall-times); the first hang terminates the pool's
     processes (hung workers cannot be cancelled) and the remaining tasks
     run in the parent.  A pool that cannot start degrades the whole batch
@@ -633,7 +861,15 @@ def execute_tasks(
         _warn(f"could not start process pool ({exc!r}); running serially")
         return _run_serial(tasks, on_output, deadline_monotonic)
 
-    session = _PoolSession(tasks, jobs, retry)
+    if batch_runs is not None and batch_runs >= 1:
+        batch_size = batch_runs
+    else:
+        batch_size = auto_batch_size(len(tasks), jobs)
+    session = _PoolSession(
+        tasks, jobs, retry,
+        batch_size=batch_size,
+        deadline_monotonic=deadline_monotonic,
+    )
     session.pool = pool
     watchdog = watchdog or Watchdog()
 
@@ -649,6 +885,60 @@ def execute_tasks(
                 f"({type(err).__name__}: {err}); retrying in parent"
             )
         finish(task, _run_task(task, keep_objects=True))
+
+    def fail_batch(
+        batch: RunBatch,
+        pending: List[RunTask],
+        exc: BaseException,
+        err: Exception,
+        current: RunTask,
+    ) -> None:
+        """React to a worker failure that took down a whole batch future.
+
+        Multi-run batches are halved and resubmitted (chunk-token style) so
+        a single poisoned run converges to a singleton; singletons follow
+        the classic per-task ladder: in-pool retries, then the parent.
+        """
+        if len(pending) < len(batch.tasks):
+            batch = session.replace_batch(batch, [pending])[0]
+        for t in pending:
+            session.attempts[t.index] += 1
+        if session.note_worker_failure():
+            return  # breaker just opened; the loop falls to the parent
+        attempt = session.attempts[current.index] - 1
+        broken = isinstance(exc, (BrokenProcessPool, _FutureCancelled))
+        if len(pending) > 1:
+            _warn(
+                f"a batch of {len(pending)} runs failed in a worker "
+                f"({type(exc).__name__}: {exc}); splitting it and retrying"
+            )
+            mid = (len(pending) + 1) // 2
+            halves = session.replace_batch(
+                batch, [pending[:mid], pending[mid:]]
+            )
+            time.sleep(retry.backoff_s(attempt, current.seed))
+            if broken:
+                # a SIGKILL-ed worker breaks every outstanding future:
+                # rebuild the pool (bounded) and resubmit all unfinished
+                # work, halves included
+                if not session.rebuild_pool():
+                    session.dead = True
+                    run_in_parent(current, err)
+            else:
+                for half in halves:
+                    session.submit(half)
+            return
+        if broken:
+            time.sleep(retry.backoff_s(attempt, current.seed))
+            if not session.rebuild_pool():
+                session.dead = True
+                run_in_parent(current, err)
+            return
+        if session.attempts[current.index] < retry.pool_attempts:
+            time.sleep(retry.backoff_s(attempt, current.seed))
+            session.submit(batch)
+            return
+        run_in_parent(current, err)
 
     expired = False
     try:
@@ -667,12 +957,21 @@ def execute_tasks(
                 if session.dead or session.breaker_open:
                     run_in_parent(task)
                     break
-                fut = session.futures[task.index]
-                wait_s = timeout if timeout is not None else watchdog.deadline_s()
+                batch = session.batch_of(task.index)
+                if batch.bid not in session.futures:
+                    session.submit(batch)
+                fut = session.futures[batch.bid]
+                pending = [
+                    t for t in batch.tasks if t.index not in session.outputs
+                ]
+                if timeout is not None:
+                    wait_s = timeout * len(pending)
+                else:
+                    wait_s = watchdog.deadline_for(len(pending))
                 if rem is not None:
                     wait_s = min(wait_s, rem)
                 try:
-                    out = fut.result(timeout=wait_s)
+                    outs = fut.result(timeout=wait_s)
                 except (KeyboardInterrupt, SystemExit):
                     raise
                 except (_FutureTimeout, TimeoutError):
@@ -697,30 +996,32 @@ def execute_tasks(
                         f"worker failed ({type(exc).__name__}: {exc})",
                         cause=exc,
                     )
-                    attempt = session.attempts[task.index]
-                    session.attempts[task.index] = attempt + 1
-                    if session.note_worker_failure():
-                        continue  # breaker just opened; loop falls to parent
-                    if isinstance(exc, (BrokenProcessPool, _FutureCancelled)):
-                        # the pool died under this task (a SIGKILL-ed
-                        # worker breaks every outstanding future): rebuild
-                        # it a bounded number of times and resubmit all
-                        # unfinished work
-                        time.sleep(retry.backoff_s(attempt, task.seed))
-                        if not session.rebuild_pool():
-                            session.dead = True
-                            run_in_parent(task, err)
-                        continue
-                    if session.attempts[task.index] < retry.pool_attempts:
-                        time.sleep(retry.backoff_s(attempt, task.seed))
-                        session.submit(task)
-                        continue
-                    run_in_parent(task, err)
+                    fail_batch(batch, pending, exc, err, task)
                 else:
-                    session.consecutive_failures = 0
-                    if not out.failed:
-                        watchdog.observe(out.wall_s)
-                    finish(task, out)
+                    session.futures.pop(batch.bid, None)
+                    got = {o.index: o for o in outs}
+                    delivered = [t for t in pending if t.index in got]
+                    if delivered:
+                        session.consecutive_failures = 0
+                    for done_task in delivered:
+                        out = got[done_task.index]
+                        if not out.failed:
+                            watchdog.observe(out.wall_s)
+                        finish(done_task, out)
+                    missing = [t for t in pending if t.index not in got]
+                    if missing:
+                        rem = remaining_s()
+                        if rem is not None and rem <= 0:
+                            continue  # deadline truncation; loop top expires
+                        # the worker returned early with time still on the
+                        # clock: treat the undelivered tail as a crash so
+                        # it retries instead of resubmitting forever
+                        exc = RuntimeError(
+                            f"worker returned {len(got)}/{len(pending)} "
+                            f"batch runs before the session deadline"
+                        )
+                        err = WorkerCrashError(str(exc), cause=exc)
+                        fail_batch(batch, missing, exc, err, task)
             if expired:
                 break
     except (KeyboardInterrupt, SystemExit):

@@ -42,6 +42,11 @@ class ExecutionConfig:
     #: per-run timeout in seconds when running in worker processes
     #: (``None`` = the executor's watchdog deadline)
     timeout: Optional[float] = None
+    #: runs shipped per worker dispatch (:class:`~repro.harness.parallel.
+    #: RunBatch`); ``None`` = auto-sized from the run count and ``jobs``,
+    #: ``1`` = classic one-future-per-run dispatch.  Execution-only: the
+    #: merged profile is bit-identical for every batch size.
+    batch_runs: Optional[int] = None
     #: retry/backoff/circuit-breaker policy for worker failures
     retry: Optional[RetryPolicy] = None
     #: checkpoint fast-forward (:mod:`repro.harness.checkpoint`): resume

@@ -292,6 +292,7 @@ def run_profile_session(
                 retry=request.retry,
                 on_output=on_output,
                 deadline_monotonic=deadline_monotonic,
+                batch_runs=request.execution.batch_runs,
             )
             for out in executed:
                 outputs[out.index] = out

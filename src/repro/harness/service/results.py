@@ -9,11 +9,20 @@ restart-recovery test can assert a SIGKILL'd session resumed to exactly
 the bytes an uninterrupted one produced.
 
 Layout mirrors the checkpoint store: an in-memory LRU in front of one
-JSON file per fingerprint (``<dir>/<fp>.json``), written atomically via
+content-addressed blob per fingerprint, written atomically via
 ``os.replace`` and skipped when already present (first-writer-wins; the
 content is deterministic, so writers never disagree).  Deadline-partial
 results are returned to waiters but **never** stored — a truncated
 session must not shadow the full one a resubmit would complete.
+
+On-disk format: the authoritative file is ``<dir>/<fp>.bin`` — a small
+container holding the result document's metadata header as JSON plus the
+profile payload on the compact binary wire
+(:meth:`~repro.core.profile_data.ProfileData.to_bytes`), which is several
+times smaller than the JSON form.  A ``<fp>.json`` debug view with the
+full JSON document is written alongside so stored results stay greppable;
+reads prefer the binary file and fall back to plain JSON, so stores
+written by older daemons keep working.
 """
 
 from __future__ import annotations
@@ -28,6 +37,11 @@ __all__ = ["ResultStore"]
 
 #: in-memory entries kept per store (small: result docs are a few KB)
 _MEMORY_CAP = 64
+
+#: binary result container: magic + version + u32 header length + header
+#: JSON (doc minus ``profile_data``) + ProfileData binary wire
+_BIN_MAGIC = b"RRES"
+_BIN_VERSION = 1
 
 
 class ResultStore:
@@ -44,8 +58,65 @@ class ResultStore:
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
 
-    def _path(self, fingerprint: str) -> str:
+    def _bin_path(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, f"{fingerprint}.bin")
+
+    def _json_path(self, fingerprint: str) -> str:
         return os.path.join(self.directory, f"{fingerprint}.json")
+
+    # ----------------------------------------------------------- wire codec
+
+    @staticmethod
+    def _encode(doc: Dict[str, Any]) -> bytes:
+        """Pack a result document into the binary container.
+
+        Raises when the document carries no well-formed ``profile_data``
+        (the caller falls back to the plain-JSON file).
+        """
+        profile = doc.get("profile_data")
+        if not isinstance(profile, dict):
+            raise ValueError("result document has no profile_data")
+        from repro.core.profile_data import ProfileData
+
+        blob = ProfileData.from_json(json.dumps(profile)).to_bytes()
+        header = {k: v for k, v in doc.items() if k != "profile_data"}
+        hdr = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        return b"".join([
+            _BIN_MAGIC,
+            bytes([_BIN_VERSION]),
+            len(hdr).to_bytes(4, "little"),
+            hdr,
+            blob,
+        ])
+
+    @staticmethod
+    def _decode(raw: bytes) -> Dict[str, Any]:
+        """Unpack the binary container back into the result document.
+
+        ``profile_data`` is appended last, matching the daemon's document
+        key order, so decoded and freshly-built docs canonicalize equal.
+        """
+        if not raw.startswith(_BIN_MAGIC):
+            raise ValueError("not a binary result container")
+        if raw[len(_BIN_MAGIC)] != _BIN_VERSION:
+            raise ValueError(
+                f"unsupported result container version {raw[len(_BIN_MAGIC)]}"
+            )
+        offset = len(_BIN_MAGIC) + 1
+        hdr_len = int.from_bytes(raw[offset:offset + 4], "little")
+        offset += 4
+        header = json.loads(raw[offset:offset + hdr_len].decode("utf-8"))
+        if not isinstance(header, dict):
+            raise ValueError("malformed result container header")
+        from repro.core.profile_data import ProfileData
+
+        doc = dict(header)
+        doc["profile_data"] = json.loads(
+            ProfileData.from_bytes(raw[offset + hdr_len:]).to_json()
+        )
+        return doc
+
+    # ------------------------------------------------------------- get/put
 
     def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
         with self._lock:
@@ -55,12 +126,18 @@ class ResultStore:
                 self.hits += 1
                 return doc
         if self.directory is not None:
-            path = self._path(fingerprint)
+            doc = None
             try:
-                with open(path, "r", encoding="utf-8") as fh:
-                    doc = json.load(fh)
+                with open(self._bin_path(fingerprint), "rb") as fh:
+                    doc = self._decode(fh.read())
             except (OSError, ValueError):
-                doc = None
+                # legacy / debug view: one plain-JSON document per result
+                try:
+                    with open(self._json_path(fingerprint), "r",
+                              encoding="utf-8") as fh:
+                        doc = json.load(fh)
+                except (OSError, ValueError):
+                    doc = None
             if isinstance(doc, dict):
                 with self._lock:
                     self._remember(fingerprint, doc)
@@ -75,13 +152,27 @@ class ResultStore:
             self._remember(fingerprint, doc)
         if self.directory is None:
             return
-        path = self._path(fingerprint)
+        try:
+            payload: Optional[bytes] = self._encode(doc)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
+            payload = None  # no/odd profile payload: JSON file only
+        if payload is not None:
+            self._write_atomic(self._bin_path(fingerprint), payload)
+        self._write_atomic(
+            self._json_path(fingerprint),
+            json.dumps(doc, sort_keys=True, separators=(",", ":"))
+            .encode("utf-8"),
+        )
+
+    def _write_atomic(self, path: str, payload: bytes) -> None:
         if os.path.exists(path):
             return  # deterministic content: first writer already said it
         tmp = f"{path}.tmp.{os.getpid()}"
         try:
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+            with open(tmp, "wb") as fh:
+                fh.write(payload)
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, path)

@@ -40,6 +40,7 @@ disables itself, and the run simply continues cold.
 
 from __future__ import annotations
 
+import pickle
 import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -139,6 +140,52 @@ class EngineSnapshot:
     engine: Dict[str, Any]        # engine scalars + RNG state
     faults: Optional[dict]        # fault-injector overlay (None if no plan)
     hook: Optional[Any]           # profiler hook's own snapshot_state()
+
+    #: byte-container magic (versioned separately from SNAPSHOT_VERSION:
+    #: the container wraps whatever snapshot layout is current)
+    WIRE_MAGIC = b"RSNP"
+    WIRE_VERSION = 1
+
+    def to_bytes(self) -> bytes:
+        """Versioned byte container for shipping/storing this snapshot.
+
+        Used by the checkpoint store's disk files and by the parallel
+        executor when a snapshot must cross a process boundary that cannot
+        inherit it (non-fork start methods).  The payload is a pickle —
+        the structure is plain data by construction — wrapped in a magic +
+        version header so readers can reject foreign or future layouts
+        without unpickling.
+        """
+        payload = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        return (
+            self.WIRE_MAGIC
+            + bytes([self.WIRE_VERSION])
+            + self.version.to_bytes(4, "little")
+            + payload
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "EngineSnapshot":
+        """Rebuild from :meth:`to_bytes`; raises :class:`SnapshotError` on
+        foreign magic, unsupported container versions, or payload rot."""
+        if len(blob) < 9 or blob[:4] != cls.WIRE_MAGIC:
+            raise SnapshotError("not an EngineSnapshot byte container")
+        if blob[4] != cls.WIRE_VERSION:
+            raise SnapshotError(
+                f"unsupported snapshot container version {blob[4]}"
+            )
+        snap_version = int.from_bytes(blob[5:9], "little")
+        if snap_version != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"snapshot layout v{snap_version} != current v{SNAPSHOT_VERSION}"
+            )
+        try:
+            snap = pickle.loads(blob[9:])
+        except Exception as exc:
+            raise SnapshotError(f"unreadable snapshot payload ({exc})") from exc
+        if not isinstance(snap, cls):
+            raise SnapshotError("snapshot payload is not an EngineSnapshot")
+        return snap
 
 
 class Recorder:

@@ -47,6 +47,18 @@ _INTERN_CAP = 65536
 
 _intern_cache: dict = {}
 
+#: entries that survive a cap reset: canonical pseudo-lines are referenced
+#: by long-lived engine state (pool workers intern across many sessions),
+#: so evicting them would fork their identity from freshly decoded profiles
+_pinned: dict = {}
+
+
+def _pin(src: SourceLine) -> SourceLine:
+    key = (src.file, src.lineno)
+    _pinned[key] = src
+    _intern_cache[key] = src
+    return src
+
 
 def intern_line(file: str, lineno: int) -> SourceLine:
     """Canonical :class:`SourceLine` for ``(file, lineno)``.
@@ -55,20 +67,40 @@ def intern_line(file: str, lineno: int) -> SourceLine:
     thousands of times across experiments and per-run sample counters.
     Sharing one object per location keeps decoded profiles compact and
     makes equality checks on the merge path mostly identity hits.
+
+    The table is process-global and bounded (``_INTERN_CAP``): a
+    pathological stream of distinct locations resets it to the pinned
+    entries rather than growing without limit.  Interning is an identity
+    optimization only — the wire formats carry ``(file, lineno)`` values
+    and build their line tables per document, so nothing about a decoded
+    or encoded profile depends on what this table happens to hold.
     """
     key = (file, lineno)
     src = _intern_cache.get(key)
     if src is None:
         if len(_intern_cache) >= _INTERN_CAP:
             _intern_cache.clear()
+            _intern_cache.update(_pinned)
         src = SourceLine(file, lineno)
         _intern_cache[key] = src
     return src
 
 
+def intern_cache_size() -> int:
+    """Current entry count of the process-global intern table (tests)."""
+    return len(_intern_cache)
+
+
+def clear_intern_cache() -> None:
+    """Reset the intern table to its pinned entries (tests)."""
+    _intern_cache.clear()
+    _intern_cache.update(_pinned)
+
+
 # The pseudo-line used for simulator-internal time (scheduler bookkeeping,
-# profiler processing cost, ...).  It is never in scope.
-RUNTIME_LINE = SourceLine("<runtime>", 0)
+# profiler processing cost, ...).  It is never in scope.  Pinned into the
+# intern table so decoded profiles share its identity across cap resets.
+RUNTIME_LINE = _pin(SourceLine("<runtime>", 0))
 
 # Pseudo-file used for "library" code (libc-style helpers in app models);
 # out of scope by default, exercising Coz's callchain-walking attribution.

@@ -1,0 +1,244 @@
+"""Batched run dispatch and the warm-worker data plane.
+
+Covers the executor's :class:`~repro.harness.parallel.RunBatch` unit:
+auto-sizing, bit-identity across batch sizes, split-on-poison retry, the
+one-shot picklability probe, and the process-global worker caches
+(registry spec memoization).
+"""
+
+import multiprocessing
+import os
+import pickle
+import signal
+
+import pytest
+
+from repro.apps import registry
+from repro.apps.example import build_example
+from repro.core.config import CozConfig
+from repro.harness import parallel
+from repro.harness.parallel import (
+    ParallelExecutionWarning,
+    auto_batch_size,
+    clear_probe_cache,
+)
+from repro.harness.request import ExecutionConfig, ProfileRequest
+from repro.harness.runner import profile_app, run_profile_session
+from repro.sim.clock import MS
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def _small_cfg(scope):
+    return CozConfig(scope=scope, experiment_duration_ns=MS(40))
+
+
+def _request(runs, scope, **exec_kwargs):
+    return ProfileRequest(
+        runs=runs,
+        coz_config=_small_cfg(scope),
+        execution=ExecutionConfig(**exec_kwargs),
+    )
+
+
+def _build_poisoned_seed(**kwargs):
+    """App whose run with seed 1 crashes, but only inside a pool worker."""
+    spec = build_example(rounds=3)
+    inner = spec.build
+
+    def build(seed):
+        if seed == 1 and _in_worker():
+            raise RuntimeError("poisoned run")
+        return inner(seed)
+
+    spec.build = build
+    return spec
+
+
+@pytest.fixture
+def injected_app():
+    registered = []
+
+    def make(name, builder):
+        registry.register(name, builder, replace=True)
+        registered.append(name)
+        return registry.build(name)
+
+    yield make
+    for name in registered:
+        registry.unregister(name)
+
+
+# -- auto sizing -------------------------------------------------------------------
+
+def test_auto_batch_size_trivial_cases():
+    assert auto_batch_size(0, 4) == 1
+    assert auto_batch_size(1, 4) == 1
+    assert auto_batch_size(20, 1) == 1
+    assert auto_batch_size(20, 0) == 1
+
+
+def test_auto_batch_size_oversubscribed_covers_in_one_wave(monkeypatch):
+    # more workers than cores: parallelism is time-slicing, so the whole
+    # session ships as one batch per worker (ceil(n/jobs))
+    monkeypatch.setattr(parallel, "_effective_cores", lambda: 1)
+    assert auto_batch_size(20, 4) == 5
+    assert auto_batch_size(21, 4) == 6
+    assert auto_batch_size(4, 2) == 2
+
+
+def test_auto_batch_size_undersubscribed_keeps_work_stealing(monkeypatch):
+    # real cores available: keep several batches per worker in flight so a
+    # slow run does not leave workers idle
+    monkeypatch.setattr(parallel, "_effective_cores", lambda: 8)
+    assert auto_batch_size(64, 2) == 8
+    assert auto_batch_size(8, 2) == 1
+
+
+def test_auto_batch_size_is_capped(monkeypatch):
+    monkeypatch.setattr(parallel, "_effective_cores", lambda: 1)
+    assert auto_batch_size(1000, 4) == parallel._MAX_BATCH
+
+
+# -- identity ----------------------------------------------------------------------
+
+def test_batched_sessions_identical_to_serial_across_sizes():
+    spec = registry.build("example", rounds=20)
+    serial = run_profile_session(
+        registry.build("example", rounds=20),
+        _request(5, spec.scope, jobs=1),
+    )
+    for batch_runs in (1, 2, 5):
+        batched = run_profile_session(
+            registry.build("example", rounds=20),
+            _request(5, spec.scope, jobs=2, batch_runs=batch_runs),
+        )
+        assert batched.data == serial.data, f"batch_runs={batch_runs} diverged"
+        assert batched.data.to_json() == serial.data.to_json()
+
+
+def test_batched_journal_resume_identity(tmp_path):
+    from repro.harness.request import ResilienceConfig
+
+    spec = registry.build("example", rounds=20)
+    serial = run_profile_session(
+        registry.build("example", rounds=20), _request(4, spec.scope, jobs=1),
+    )
+    path = str(tmp_path / "batched.journal")
+    run_profile_session(
+        registry.build("example", rounds=20),
+        ProfileRequest(
+            runs=4, coz_config=_small_cfg(spec.scope),
+            execution=ExecutionConfig(jobs=2, batch_runs=4),
+            resilience=ResilienceConfig(journal=path, stop_after_runs=2),
+        ),
+    )
+    resumed = run_profile_session(
+        registry.build("example", rounds=20),
+        ProfileRequest(
+            runs=4, coz_config=_small_cfg(spec.scope),
+            execution=ExecutionConfig(jobs=2, batch_runs=4),
+            resilience=ResilienceConfig(resume=path),
+        ),
+    )
+    assert resumed.data == serial.data
+
+
+# -- failure semantics -------------------------------------------------------------
+
+def test_poisoned_run_splits_batch_and_session_completes(injected_app):
+    # one poisoned run inside a 4-run batch: the batch splits until the
+    # poison is a singleton, which retries in the parent; the other three
+    # runs complete from workers and the session's data matches serial
+    spec = injected_app("_test_poisoned", _build_poisoned_seed)
+    with pytest.warns(ParallelExecutionWarning, match="splitting"):
+        out = run_profile_session(
+            spec, _request(4, spec.scope, jobs=2, batch_runs=4),
+        )
+    assert len(out.data.runs) == 4
+    serial = profile_app(
+        spec, runs=4, coz_config=_small_cfg(spec.scope), jobs=1,
+    )
+    assert out.data == serial.data
+
+
+def test_worker_killed_mid_batch_still_completes(injected_app):
+    def _build_killer_seed(**kwargs):
+        spec = build_example(rounds=3)
+        inner = spec.build
+
+        def build(seed):
+            if seed == 1 and _in_worker():
+                os.kill(os.getpid(), signal.SIGKILL)
+            return inner(seed)
+
+        spec.build = build
+        return spec
+
+    spec = injected_app("_test_batch_killer", _build_killer_seed)
+    with pytest.warns(ParallelExecutionWarning):
+        out = run_profile_session(
+            spec, _request(4, spec.scope, jobs=2, batch_runs=2),
+        )
+    assert len(out.data.runs) == 4
+
+
+# -- picklability probe ------------------------------------------------------------
+
+def test_picklability_probed_once_per_task_shape(monkeypatch):
+    calls = []
+    real_dumps = pickle.dumps
+
+    def counting_dumps(obj, *args, **kwargs):
+        calls.append(obj)
+        return real_dumps(obj, *args, **kwargs)
+
+    clear_probe_cache()
+    monkeypatch.setattr(parallel.pickle, "dumps", counting_dumps)
+    spec = registry.build("example", rounds=20)
+    cfg = _small_cfg(spec.scope)
+    profile_app(spec, runs=3, coz_config=cfg, jobs=2)
+    probes_first = len(calls)
+    # the whole session probes one representative task, not one per run
+    assert probes_first <= 1
+    profile_app(registry.build("example", rounds=20), runs=3, coz_config=cfg, jobs=2)
+    # a second session with the same task shape hits the probe cache
+    assert len(calls) == probes_first
+
+
+def test_unpicklable_factory_still_degrades_to_serial():
+    clear_probe_cache()
+    spec = build_example(rounds=20)
+    assert spec.registry_ref is None
+    cfg = _small_cfg(spec.scope)
+    with pytest.warns(ParallelExecutionWarning, match="not picklable"):
+        fanned = profile_app(spec, runs=2, coz_config=cfg, jobs=2)
+    serial = profile_app(spec, runs=2, coz_config=cfg, jobs=1)
+    assert fanned.data == serial.data
+
+
+# -- worker-side caches ------------------------------------------------------------
+
+def test_cached_build_memoizes_and_invalidates():
+    from repro.apps.registry import cached_build, clear_spec_cache
+
+    clear_spec_cache()
+    ref = registry.build("example", rounds=20).registry_ref
+    first = cached_build(ref)
+    assert cached_build(ref) is first
+    # re-registering the name must drop the memoized spec: tests and
+    # third-party apps replace builders in place
+    registry.register("_test_cache_probe", lambda **kw: build_example(rounds=3))
+    try:
+        probe_ref = registry.build("_test_cache_probe").registry_ref
+        probe_spec = cached_build(probe_ref)
+        registry.register(
+            "_test_cache_probe", lambda **kw: build_example(rounds=5),
+            replace=True,
+        )
+        assert cached_build(probe_ref) is not probe_spec
+    finally:
+        registry.unregister("_test_cache_probe")
+    assert cached_build(ref) is first  # unrelated names stay cached

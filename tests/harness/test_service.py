@@ -326,6 +326,82 @@ def test_result_store_lru_evicts_memory_not_disk(tmp_path):
     assert store.get("00" * 32) == {"i": 0}
 
 
+def _profile_doc():
+    """A small but complete service-result document with real profile data."""
+    import json as _json
+
+    from repro.core.experiment import ExperimentResult
+    from repro.core.profile_data import ProfileData, RunFailure, RunInfo
+    from repro.sim.source import line as _line
+
+    data = ProfileData()
+    data.add_experiment(ExperimentResult(
+        line=_line("svc.c:3"), speedup_pct=0, delay_ns=0, start_ns=0,
+        end_ns=10_000_000, delay_count=0, selected_samples=4,
+        visits={"p": 6},
+    ))
+    run = RunInfo(runtime_ns=50_000_000, total_delay_ns=0)
+    run.line_samples.update({_line("svc.c:3"): 11})
+    data.add_run(run)
+    data.add_failure(RunFailure(
+        index=1, seed=1, error_type="ThreadCrashFault", message="shed",
+    ))
+    return {
+        "schema": "service-result/v1",
+        "fingerprint": "cc" * 32,
+        "state": "degraded",
+        "degraded": True,
+        "failures": [f.to_dict() for f in data.failures],
+        "profile_data": _json.loads(data.to_json()),
+    }
+
+
+def test_result_store_binary_container_round_trips_profiles(tmp_path):
+    import json as _json
+    import os as _os
+
+    doc = _profile_doc()
+    store = ResultStore(str(tmp_path / "results"))
+    store.put(doc["fingerprint"], doc)
+    bin_path = store._bin_path(doc["fingerprint"])
+    json_path = store._json_path(doc["fingerprint"])
+    assert _os.path.exists(bin_path)   # authoritative binary container
+    assert _os.path.exists(json_path)  # greppable debug view
+    # the binary file must actually be smaller than the JSON document
+    assert _os.path.getsize(bin_path) < _os.path.getsize(json_path)
+    # a cold store decodes the binary container back to the same document
+    again = ResultStore(str(tmp_path / "results"))
+    got = again.get(doc["fingerprint"])
+    assert _json.dumps(got, sort_keys=True) == _json.dumps(doc, sort_keys=True)
+
+
+def test_result_store_reads_legacy_json_only_files(tmp_path):
+    import json as _json
+    import os as _os
+
+    doc = _profile_doc()
+    directory = str(tmp_path / "results")
+    _os.makedirs(directory)
+    # an older daemon wrote only the JSON file
+    with open(_os.path.join(directory, f"{doc['fingerprint']}.json"), "w") as f:
+        _json.dump(doc, f, sort_keys=True)
+    store = ResultStore(directory)
+    got = store.get(doc["fingerprint"])
+    assert _json.dumps(got, sort_keys=True) == _json.dumps(doc, sort_keys=True)
+
+
+def test_result_store_doc_without_profile_falls_back_to_json(tmp_path):
+    import os as _os
+
+    store = ResultStore(str(tmp_path / "results"))
+    doc = {"schema": "service-result/v1", "state": "done"}
+    store.put("dd" * 32, doc)
+    assert not _os.path.exists(store._bin_path("dd" * 32))
+    assert _os.path.exists(store._json_path("dd" * 32))
+    again = ResultStore(str(tmp_path / "results"))
+    assert again.get("dd" * 32) == doc
+
+
 # -- daemon integration -------------------------------------------------------
 
 

@@ -60,3 +60,56 @@ def test_callchain_walk_prefers_innermost():
     scope = Scope.all_main()
     chain = (line("inner.c:1"), line("outer.c:2"))
     assert scope.first_in_scope(chain) == line("inner.c:1")
+
+
+# -- intern table ------------------------------------------------------------------
+
+def test_intern_line_returns_canonical_object():
+    from repro.sim import source
+
+    source.clear_intern_cache()
+    a = source.intern_line("it.c", 42)
+    b = source.intern_line("it.c", 42)
+    assert a is b
+    assert a == SourceLine("it.c", 42)
+
+
+def test_intern_cache_is_bounded_and_pins_survive_reset(monkeypatch):
+    from repro.sim import source
+
+    source.clear_intern_cache()
+    monkeypatch.setattr(source, "_INTERN_CAP", 8)
+    runtime = source.intern_line(RUNTIME_LINE.file, RUNTIME_LINE.lineno)
+    assert runtime is RUNTIME_LINE  # the pseudo-line is pre-pinned
+    # overflow the table several times over
+    for i in range(50):
+        source.intern_line("churn.c", i)
+    assert source.intern_cache_size() <= 8
+    # pinned entries keep their identity across every reset
+    assert source.intern_line(RUNTIME_LINE.file, RUNTIME_LINE.lineno) is RUNTIME_LINE
+
+
+def test_intern_eviction_never_changes_wire_bytes(monkeypatch):
+    # interning is an identity optimization: a profile encoded while the
+    # table thrashes must produce the same bytes as one encoded cold
+    from repro.core.profile_data import ProfileData, RunInfo
+    from repro.sim import source
+
+    def build():
+        d = ProfileData()
+        info = RunInfo(runtime_ns=1000, total_delay_ns=0)
+        info.line_samples.update({
+            source.intern_line("w.c", 1): 10,
+            source.intern_line("w.c", 2): 20,
+        })
+        d.add_run(info)
+        return d
+
+    source.clear_intern_cache()
+    cold_json = build().to_json()
+    cold_bin = build().to_bytes()
+    monkeypatch.setattr(source, "_INTERN_CAP", 2)
+    for i in range(20):
+        source.intern_line("churn2.c", i)
+    assert build().to_json() == cold_json
+    assert build().to_bytes() == cold_bin
